@@ -1,0 +1,56 @@
+// Command tpchgen generates deterministic TPC-H data as pipe-separated files
+// (the format dbgen emits), one .tbl file per table.
+//
+// Usage:
+//
+//	tpchgen -sf 0.01 -o /tmp/tpch
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ironsafe/internal/tpch"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.01, "scale factor")
+	out := flag.String("o", ".", "output directory")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal("creating %s: %v", *out, err)
+	}
+	data := tpch.Generate(*sf)
+	for _, table := range tpch.TableNames {
+		path := filepath.Join(*out, table+".tbl")
+		f, err := os.Create(path)
+		if err != nil {
+			fatal("creating %s: %v", path, err)
+		}
+		w := bufio.NewWriter(f)
+		rows := data.Rows(table)
+		for _, row := range rows {
+			fields := make([]string, len(row))
+			for i, v := range row {
+				fields[i] = v.String()
+			}
+			fmt.Fprintln(w, strings.Join(fields, "|"))
+		}
+		if err := w.Flush(); err != nil {
+			fatal("writing %s: %v", path, err)
+		}
+		f.Close()
+		fmt.Printf("%-10s %8d rows -> %s\n", table, len(rows), path)
+	}
+	fmt.Printf("total %d rows at sf=%g\n", data.TotalRows(), *sf)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tpchgen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,59 @@
+// CSA analytics: the paper's headline experiment in miniature. Loads TPC-H
+// into host-only-secure (hos) and IronSafe (scs) deployments, runs a set of
+// benchmark queries through both, and reports the near-data-processing
+// speedup and the data-movement reduction that produces it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ironsafe"
+	"ironsafe/internal/tpch"
+)
+
+func main() {
+	const sf = 0.002
+	data := tpch.Generate(sf)
+	fmt.Printf("TPC-H sf=%g: %d rows total\n\n", sf, data.TotalRows())
+
+	build := func(mode ironsafe.Mode) *ironsafe.Cluster {
+		c, err := ironsafe.NewCluster(ironsafe.Config{Mode: mode})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := c.LoadTPCHData(data); err != nil {
+			log.Fatal(err)
+		}
+		if err := c.SetAccessPolicy("read :- sessionKeyIs(analyst)"); err != nil {
+			log.Fatal(err)
+		}
+		return c
+	}
+	hos := build(ironsafe.HostOnlySecure)
+	scs := build(ironsafe.IronSafe)
+
+	queries := []int{1, 3, 6, 12, 14, 19}
+	fmt.Printf("%-6s %14s %14s %10s %16s\n", "query", "host-only(hos)", "ironsafe(scs)", "speedup", "rows shipped")
+	var totalSpeedup float64
+	for _, qn := range queries {
+		h, err := hos.NewSession("analyst").Query(tpch.Queries[qn])
+		if err != nil {
+			log.Fatalf("q%d hos: %v", qn, err)
+		}
+		s, err := scs.NewSession("analyst").Query(tpch.Queries[qn])
+		if err != nil {
+			log.Fatalf("q%d scs: %v", qn, err)
+		}
+		hT := h.Stats.Cost.Total()
+		sT := s.Stats.Cost.Total()
+		speedup := float64(hT) / float64(sT)
+		totalSpeedup += speedup
+		fmt.Printf("q%-5d %14v %14v %9.2fx %16d\n", qn, hT, sT, speedup, s.Stats.RowsShipped)
+	}
+	fmt.Printf("\naverage speedup of near-data processing: %.2fx (paper: 2.3x average)\n",
+		totalSpeedup/float64(len(queries)))
+	fmt.Println("\nwhy: the storage engine filters near the data, so only qualifying")
+	fmt.Println("rows cross the interconnect and enter the host enclave — fewer enclave")
+	fmt.Println("transitions, no EPC thrashing, and the weak storage CPU only runs scans.")
+}

@@ -1,0 +1,3 @@
+module ironsafe
+
+go 1.22

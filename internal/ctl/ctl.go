@@ -1,0 +1,129 @@
+// Package ctl is the control-plane RPC layer the distributed binaries
+// (ironsafe-monitor, ironsafe-host, ironsafe-storage, ironsafe-client) use:
+// JSON request/response frames over the session-key-bound secure transport,
+// authenticated with a deployment provisioning key (the stand-in for the
+// out-of-band provisioning a production rollout would use).
+package ctl
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"ironsafe/internal/transport"
+)
+
+// Handler serves one command.
+type Handler func(req []byte) (any, error)
+
+// Server dispatches control commands.
+type Server struct {
+	psk      []byte
+	mu       sync.RWMutex
+	handlers map[string]Handler
+}
+
+// NewServer creates a control server bound to the provisioning key.
+func NewServer(psk []byte) *Server {
+	return &Server{psk: psk, handlers: map[string]Handler{}}
+}
+
+// Handle registers a command handler.
+func (s *Server) Handle(cmd string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[cmd] = h
+}
+
+// Serve accepts control connections until the listener closes.
+func (s *Server) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go s.handleConn(conn)
+	}
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer conn.Close()
+	sc, err := transport.Server(conn, s.psk, nil)
+	if err != nil {
+		return
+	}
+	defer sc.Close()
+	for {
+		cmd, payload, err := sc.Recv()
+		if err != nil {
+			return
+		}
+		s.mu.RLock()
+		h, ok := s.handlers[cmd]
+		s.mu.RUnlock()
+		if !ok {
+			sc.Send("error", []byte("unknown command "+cmd))
+			continue
+		}
+		out, err := h(payload)
+		if err != nil {
+			sc.Send("error", []byte(err.Error()))
+			continue
+		}
+		blob, err := json.Marshal(out)
+		if err != nil {
+			sc.Send("error", []byte(err.Error()))
+			continue
+		}
+		sc.Send("ok", blob)
+	}
+}
+
+// Client is one control connection.
+type Client struct {
+	mu sync.Mutex
+	sc *transport.SecureConn
+}
+
+// Dial connects a control client.
+func Dial(addr string, psk []byte) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := transport.Client(conn, psk, nil)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &Client{sc: sc}, nil
+}
+
+// Call sends one command and decodes the JSON response into resp (which may
+// be nil to discard).
+func (c *Client) Call(cmd string, req any, resp any) error {
+	blob, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.sc.Send(cmd, blob); err != nil {
+		return err
+	}
+	typ, payload, err := c.sc.Recv()
+	if err != nil {
+		return err
+	}
+	if typ == "error" {
+		return fmt.Errorf("ctl: %s: %s", cmd, payload)
+	}
+	if resp == nil {
+		return nil
+	}
+	return json.Unmarshal(payload, resp)
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.sc.Close() }

@@ -1,0 +1,121 @@
+package ctl
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+)
+
+func startServer(t *testing.T, psk []byte) (string, *Server) {
+	t.Helper()
+	srv := NewServer(psk)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv
+}
+
+type echoReq struct {
+	Msg string `json:"msg"`
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	addr, srv := startServer(t, []byte("psk"))
+	srv.Handle("echo", func(req []byte) (any, error) {
+		return map[string]string{"got": string(req)}, nil
+	})
+	c, err := Dial(addr, []byte("psk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var resp map[string]string
+	if err := c.Call("echo", echoReq{Msg: "hi"}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp["got"] != `{"msg":"hi"}` {
+		t.Errorf("resp = %v", resp)
+	}
+}
+
+func TestHandlerError(t *testing.T) {
+	addr, srv := startServer(t, []byte("psk"))
+	srv.Handle("boom", func([]byte) (any, error) {
+		return nil, errors.New("kaput")
+	})
+	c, err := Dial(addr, []byte("psk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Call("boom", nil, nil)
+	if err == nil || !contains(err.Error(), "kaput") {
+		t.Errorf("err = %v", err)
+	}
+	// The connection survives an error and serves the next call.
+	srv.Handle("ok", func([]byte) (any, error) { return 1, nil })
+	var n int
+	if err := c.Call("ok", nil, &n); err != nil || n != 1 {
+		t.Errorf("post-error call: %v, %d", err, n)
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	addr, _ := startServer(t, []byte("psk"))
+	c, err := Dial(addr, []byte("psk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Call("nope", nil, nil); err == nil {
+		t.Error("unknown command accepted")
+	}
+}
+
+func TestWrongPSKRejected(t *testing.T) {
+	addr, _ := startServer(t, []byte("right"))
+	if _, err := Dial(addr, []byte("wrong")); err == nil {
+		t.Error("wrong psk connected")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	addr, srv := startServer(t, []byte("psk"))
+	srv.Handle("inc", func(req []byte) (any, error) {
+		return len(req), nil
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(addr, []byte("psk"))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 20; j++ {
+				var n int
+				if err := c.Call("inc", echoReq{Msg: "x"}, &n); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

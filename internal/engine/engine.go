@@ -1,0 +1,533 @@
+// Package engine is the database engine: a catalog of heap-file tables over
+// a PageStore (plain pager or secure store), with SQL DDL/DML/query execution
+// via the exec package. It plays the role SQLite plays in the paper — both
+// the on-disk instance on the storage system and the in-memory instance on
+// the host run this engine, differing only in the PageStore beneath them.
+package engine
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+
+	"ironsafe/internal/pager"
+	"ironsafe/internal/schema"
+	"ironsafe/internal/simtime"
+	"ironsafe/internal/sql/ast"
+	"ironsafe/internal/sql/exec"
+	"ironsafe/internal/sql/parser"
+	"ironsafe/internal/value"
+)
+
+// Table is one stored table.
+type Table struct {
+	Name string
+	Sch  *schema.Schema
+	heap *pager.HeapFile
+	db   *DB
+}
+
+// Schema implements exec.Relation.
+func (t *Table) Schema() *schema.Schema { return t.Sch }
+
+// Scan implements exec.Relation.
+func (t *Table) Scan(fn func(schema.Row) error) error {
+	return t.heap.Scan(fn)
+}
+
+// Count returns the table's row count.
+func (t *Table) Count() (int, error) { return t.heap.Count() }
+
+// NumPages returns the number of heap pages the table occupies.
+func (t *Table) NumPages() int { return t.heap.NumPages() }
+
+// DB is a database instance over a page store.
+type DB struct {
+	store pager.PageStore
+	meter *simtime.Meter
+
+	mu     sync.RWMutex
+	tables map[string]*Table
+
+	// execMu serializes writers against readers: SELECTs run concurrently,
+	// DDL/DML take the write lock (SQLite-style multi-reader/one-writer).
+	execMu sync.RWMutex
+}
+
+// catalogRecord is the persisted form of the catalog.
+type catalogRecord struct {
+	Tables []tableRecord `json:"tables"`
+}
+
+type tableRecord struct {
+	Name    string         `json:"name"`
+	Columns []columnRecord `json:"columns"`
+	Pages   []uint32       `json:"pages"`
+}
+
+type columnRecord struct {
+	Name string     `json:"name"`
+	Kind value.Kind `json:"kind"`
+}
+
+// Open attaches to (or initializes) a database on the store. Page 0 is the
+// catalog root: [u32 length][u32 page count][page ids...]; catalog JSON
+// lives in separately allocated pages so it can grow.
+func Open(store pager.PageStore, meter *simtime.Meter) (*DB, error) {
+	db := &DB{store: store, meter: meter, tables: map[string]*Table{}}
+	if store.NumPages() == 0 {
+		if _, err := store.Allocate(); err != nil { // page 0 = catalog root
+			return nil, fmt.Errorf("engine: allocating catalog root: %w", err)
+		}
+		if err := db.persistCatalog(); err != nil {
+			return nil, err
+		}
+		return db, nil
+	}
+	if err := db.loadCatalog(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+func (db *DB) loadCatalog() error {
+	root, err := db.store.ReadPage(0)
+	if err != nil {
+		return fmt.Errorf("engine: reading catalog root: %w", err)
+	}
+	length := binary.LittleEndian.Uint32(root[0:4])
+	npages := binary.LittleEndian.Uint32(root[4:8])
+	if length == 0 {
+		return nil
+	}
+	var blob []byte
+	for i := uint32(0); i < npages; i++ {
+		id := binary.LittleEndian.Uint32(root[8+4*i : 12+4*i])
+		page, err := db.store.ReadPage(id)
+		if err != nil {
+			return fmt.Errorf("engine: reading catalog page %d: %w", id, err)
+		}
+		blob = append(blob, page...)
+	}
+	if uint32(len(blob)) < length {
+		return fmt.Errorf("engine: catalog truncated (%d < %d)", len(blob), length)
+	}
+	var rec catalogRecord
+	if err := json.Unmarshal(blob[:length], &rec); err != nil {
+		return fmt.Errorf("engine: decoding catalog: %w", err)
+	}
+	for _, tr := range rec.Tables {
+		sch := schema.New()
+		for _, c := range tr.Columns {
+			sch.Columns = append(sch.Columns, schema.Col(c.Name, c.Kind))
+		}
+		db.tables[strings.ToLower(tr.Name)] = &Table{
+			Name: tr.Name,
+			Sch:  sch,
+			heap: pager.OpenHeapFile(db.store, tr.Pages),
+			db:   db,
+		}
+	}
+	return nil
+}
+
+// catalogPagesMax bounds how many catalog pages fit in the root page.
+const catalogPagesMax = (pager.PageSize - 8) / 4
+
+func (db *DB) persistCatalog() error {
+	rec := catalogRecord{}
+	for _, t := range db.tables {
+		tr := tableRecord{Name: t.Name, Pages: t.heap.Pages()}
+		for _, c := range t.Sch.Columns {
+			tr.Columns = append(tr.Columns, columnRecord{Name: c.Name, Kind: c.Kind})
+		}
+		rec.Tables = append(rec.Tables, tr)
+	}
+	blob, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("engine: encoding catalog: %w", err)
+	}
+	need := (len(blob) + pager.PageSize - 1) / pager.PageSize
+	if need > catalogPagesMax {
+		return fmt.Errorf("engine: catalog too large (%d pages)", need)
+	}
+	root := make([]byte, pager.PageSize)
+	binary.LittleEndian.PutUint32(root[0:4], uint32(len(blob)))
+	binary.LittleEndian.PutUint32(root[4:8], uint32(need))
+	for i := 0; i < need; i++ {
+		id, err := db.store.Allocate()
+		if err != nil {
+			return fmt.Errorf("engine: allocating catalog page: %w", err)
+		}
+		binary.LittleEndian.PutUint32(root[8+4*i:12+4*i], id)
+		end := (i + 1) * pager.PageSize
+		if end > len(blob) {
+			end = len(blob)
+		}
+		if err := db.store.WritePage(id, blob[i*pager.PageSize:end]); err != nil {
+			return err
+		}
+	}
+	return db.store.WritePage(0, root)
+}
+
+// Relation implements exec.Catalog.
+func (db *DB) Relation(name string) (exec.Relation, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("engine: no such table %q", name)
+	}
+	return t, nil
+}
+
+// Table returns the named table.
+func (db *DB) Table(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("engine: no such table %q", name)
+	}
+	return t, nil
+}
+
+// TableNames lists the tables in the catalog.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var names []string
+	for _, t := range db.tables {
+		names = append(names, t.Name)
+	}
+	return names
+}
+
+// Execute parses and runs one SQL statement. SELECTs return a result; DDL
+// and DML return a result with an "affected" count column.
+func (db *DB) Execute(sqlText string) (*exec.Result, error) {
+	stmt, err := parser.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	return db.ExecuteStmt(stmt)
+}
+
+// ExecuteStmt runs a parsed statement.
+func (db *DB) ExecuteStmt(stmt ast.Statement) (*exec.Result, error) {
+	switch s := stmt.(type) {
+	case *ast.Select:
+		db.execMu.RLock()
+		defer db.execMu.RUnlock()
+		return exec.Run(s, db, db.meter)
+	case *ast.CreateTable:
+		db.execMu.Lock()
+		defer db.execMu.Unlock()
+		return db.createTable(s)
+	case *ast.Insert:
+		db.execMu.Lock()
+		defer db.execMu.Unlock()
+		return db.insert(s)
+	case *ast.Update:
+		db.execMu.Lock()
+		defer db.execMu.Unlock()
+		return db.update(s)
+	case *ast.Delete:
+		db.execMu.Lock()
+		defer db.execMu.Unlock()
+		return db.delete(s)
+	case *ast.DropTable:
+		db.execMu.Lock()
+		defer db.execMu.Unlock()
+		return db.dropTable(s)
+	default:
+		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+	}
+}
+
+func affected(n int) *exec.Result {
+	return &exec.Result{
+		Sch:  schema.New(schema.Col("affected", value.KindInt)),
+		Rows: []schema.Row{{value.Int(int64(n))}},
+	}
+}
+
+func (db *DB) createTable(s *ast.CreateTable) (*exec.Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(s.Name)
+	if _, exists := db.tables[key]; exists {
+		return nil, fmt.Errorf("engine: table %q already exists", s.Name)
+	}
+	sch := schema.New()
+	seen := map[string]bool{}
+	for _, c := range s.Columns {
+		lc := strings.ToLower(c.Name)
+		if seen[lc] {
+			return nil, fmt.Errorf("engine: duplicate column %q", c.Name)
+		}
+		seen[lc] = true
+		sch.Columns = append(sch.Columns, schema.Col(c.Name, c.Kind))
+	}
+	db.tables[key] = &Table{Name: s.Name, Sch: sch, heap: pager.NewHeapFile(db.store), db: db}
+	if err := db.persistCatalog(); err != nil {
+		return nil, err
+	}
+	return affected(0), nil
+}
+
+func (db *DB) dropTable(s *ast.DropTable) (*exec.Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(s.Name)
+	t, exists := db.tables[key]
+	if !exists {
+		if s.IfExists {
+			return affected(0), nil
+		}
+		return nil, fmt.Errorf("engine: no such table %q", s.Name)
+	}
+	// Wipe the table's pages before dropping (session-cleanup semantics).
+	if err := t.heap.Rewrite(nil); err != nil {
+		return nil, err
+	}
+	delete(db.tables, key)
+	if err := db.persistCatalog(); err != nil {
+		return nil, err
+	}
+	return affected(0), nil
+}
+
+// coerce adapts a literal value to the column kind where lossless.
+func coerce(v value.Value, kind value.Kind) (value.Value, error) {
+	if v.IsNull() || v.Kind() == kind {
+		return v, nil
+	}
+	switch kind {
+	case value.KindFloat:
+		if v.Kind() == value.KindInt {
+			return value.Float(float64(v.AsInt())), nil
+		}
+	case value.KindInt:
+		if v.Kind() == value.KindFloat && v.AsFloat() == float64(int64(v.AsFloat())) {
+			return value.Int(int64(v.AsFloat())), nil
+		}
+	case value.KindDate:
+		if v.Kind() == value.KindString {
+			return value.ParseDate(v.AsString())
+		}
+	}
+	return value.Null(), fmt.Errorf("engine: cannot store %s into %s column", v.Kind(), kind)
+}
+
+func (db *DB) insert(s *ast.Insert) (*exec.Result, error) {
+	t, err := db.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	// Map insert columns to table positions.
+	positions := make([]int, 0, t.Sch.Len())
+	if len(s.Columns) == 0 {
+		for i := range t.Sch.Columns {
+			positions = append(positions, i)
+		}
+	} else {
+		for _, c := range s.Columns {
+			idx := t.Sch.IndexOf(c)
+			if idx < 0 {
+				return nil, fmt.Errorf("engine: no column %q in %q", c, s.Table)
+			}
+			positions = append(positions, idx)
+		}
+	}
+	rows := make([]schema.Row, 0, len(s.Rows))
+	for ri, exprs := range s.Rows {
+		if len(exprs) != len(positions) {
+			return nil, fmt.Errorf("engine: row %d has %d values, want %d", ri, len(exprs), len(positions))
+		}
+		row := make(schema.Row, t.Sch.Len())
+		for i := range row {
+			row[i] = value.Null()
+		}
+		for i, e := range exprs {
+			v, err := evalConst(e)
+			if err != nil {
+				return nil, fmt.Errorf("engine: row %d: %w", ri, err)
+			}
+			cv, err := coerce(v, t.Sch.Columns[positions[i]].Kind)
+			if err != nil {
+				return nil, fmt.Errorf("engine: row %d column %q: %w", ri, t.Sch.Columns[positions[i]].Name, err)
+			}
+			row[positions[i]] = cv
+		}
+		rows = append(rows, row)
+	}
+	if err := t.heap.AppendAll(rows); err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	err = db.persistCatalog()
+	db.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return affected(len(rows)), nil
+}
+
+// InsertRows bulk-loads pre-built rows (used by the TPC-H loader); values
+// must already match the schema.
+func (db *DB) InsertRows(table string, rows []schema.Row) error {
+	db.execMu.Lock()
+	defer db.execMu.Unlock()
+	t, err := db.Table(table)
+	if err != nil {
+		return err
+	}
+	for ri, r := range rows {
+		if len(r) != t.Sch.Len() {
+			return fmt.Errorf("engine: row %d has %d values, want %d", ri, len(r), t.Sch.Len())
+		}
+	}
+	if err := t.heap.AppendAll(rows); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.persistCatalog()
+}
+
+func (db *DB) update(s *ast.Update) (*exec.Result, error) {
+	t, err := db.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	setIdx := map[int]ast.Expr{}
+	for col, e := range s.Set {
+		idx := t.Sch.IndexOf(col)
+		if idx < 0 {
+			return nil, fmt.Errorf("engine: no column %q in %q", col, s.Table)
+		}
+		setIdx[idx] = e
+	}
+	var rows []schema.Row
+	changed := 0
+	err = t.heap.Scan(func(r schema.Row) error {
+		match := true
+		if s.Where != nil {
+			v, err := evalRowPredicate(s.Where, t.Sch, r, db, db.meter)
+			if err != nil {
+				return err
+			}
+			match = v
+		}
+		if match {
+			nr := r.Clone()
+			for idx, e := range setIdx {
+				v, err := evalRowExpr(e, t.Sch, r, db, db.meter)
+				if err != nil {
+					return err
+				}
+				cv, err := coerce(v, t.Sch.Columns[idx].Kind)
+				if err != nil {
+					return err
+				}
+				nr[idx] = cv
+			}
+			rows = append(rows, nr)
+			changed++
+		} else {
+			rows = append(rows, r)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := t.heap.Rewrite(rows); err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	err = db.persistCatalog()
+	db.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return affected(changed), nil
+}
+
+func (db *DB) delete(s *ast.Delete) (*exec.Result, error) {
+	t, err := db.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	var kept []schema.Row
+	removed := 0
+	err = t.heap.Scan(func(r schema.Row) error {
+		match := true
+		if s.Where != nil {
+			v, err := evalRowPredicate(s.Where, t.Sch, r, db, db.meter)
+			if err != nil {
+				return err
+			}
+			match = v
+		}
+		if match {
+			removed++
+		} else {
+			kept = append(kept, r)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := t.heap.Rewrite(kept); err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	err = db.persistCatalog()
+	db.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return affected(removed), nil
+}
+
+// evalConst evaluates an expression with no row context (INSERT values).
+func evalConst(e ast.Expr) (value.Value, error) {
+	sel := &ast.Select{Items: []ast.SelectItem{{Expr: e}}, Limit: -1}
+	res, err := exec.Run(sel, emptyCatalog{}, nil)
+	if err != nil {
+		return value.Null(), err
+	}
+	return res.Rows[0][0], nil
+}
+
+// evalRowExpr evaluates an expression against one row of a table.
+func evalRowExpr(e ast.Expr, sch *schema.Schema, row schema.Row, cat exec.Catalog, meter *simtime.Meter) (value.Value, error) {
+	sel := &ast.Select{Items: []ast.SelectItem{{Expr: e}}, Limit: -1}
+	env := &exec.Env{Sch: sch, Row: row}
+	res, err := exec.RunWithEnv(sel, cat, meter, env)
+	if err != nil {
+		return value.Null(), err
+	}
+	return res.Rows[0][0], nil
+}
+
+// evalRowPredicate evaluates a WHERE predicate against one row.
+func evalRowPredicate(e ast.Expr, sch *schema.Schema, row schema.Row, cat exec.Catalog, meter *simtime.Meter) (bool, error) {
+	v, err := evalRowExpr(e, sch, row, cat, meter)
+	if err != nil {
+		return false, err
+	}
+	return !v.IsNull() && v.Kind() == value.KindBool && v.AsBool(), nil
+}
+
+type emptyCatalog struct{}
+
+func (emptyCatalog) Relation(name string) (exec.Relation, error) {
+	return nil, fmt.Errorf("engine: no table %q in constant context", name)
+}

@@ -1,0 +1,343 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"ironsafe/internal/pager"
+	"ironsafe/internal/schema"
+	"ironsafe/internal/simtime"
+	"ironsafe/internal/value"
+)
+
+func newDB(t *testing.T) (*DB, *pager.MemDevice, *simtime.Meter) {
+	t.Helper()
+	dev := pager.NewMemDevice()
+	var m simtime.Meter
+	db, err := Open(pager.NewPager(dev, &m, 64), &m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, dev, &m
+}
+
+func mustExec(t *testing.T, db *DB, sql string) {
+	t.Helper()
+	if _, err := db.Execute(sql); err != nil {
+		t.Fatalf("exec %q: %v", sql, err)
+	}
+}
+
+func seed(t *testing.T, db *DB) {
+	t.Helper()
+	mustExec(t, db, `CREATE TABLE flights (id INTEGER, pax VARCHAR(32), dest VARCHAR(2), price DECIMAL(10,2), fday DATE)`)
+	mustExec(t, db, `INSERT INTO flights VALUES
+		(1, 'alice', 'PT', 120.50, '1995-06-01'),
+		(2, 'bob', 'DE', 89.00, '1995-06-02'),
+		(3, 'carol', 'PT', 240.00, '1995-07-01'),
+		(4, 'dave', 'UK', 60.25, '1995-07-04')`)
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	db, _, _ := newDB(t)
+	seed(t, db)
+	res, err := db.Execute("SELECT pax FROM flights WHERE dest = 'PT' ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0].AsString() != "alice" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestDateCoercionOnInsert(t *testing.T) {
+	db, _, _ := newDB(t)
+	seed(t, db)
+	res, _ := db.Execute("SELECT fday FROM flights WHERE id = 1")
+	if res.Rows[0][0].Kind() != value.KindDate || res.Rows[0][0].String() != "1995-06-01" {
+		t.Errorf("date = %v (%s)", res.Rows[0][0], res.Rows[0][0].Kind())
+	}
+}
+
+func TestIntToFloatCoercion(t *testing.T) {
+	db, _, _ := newDB(t)
+	mustExec(t, db, "CREATE TABLE t (x DOUBLE)")
+	mustExec(t, db, "INSERT INTO t VALUES (5)")
+	res, _ := db.Execute("SELECT x FROM t")
+	if res.Rows[0][0].Kind() != value.KindFloat {
+		t.Errorf("coercion = %s", res.Rows[0][0].Kind())
+	}
+}
+
+func TestCoercionErrors(t *testing.T) {
+	db, _, _ := newDB(t)
+	mustExec(t, db, "CREATE TABLE t (x INTEGER)")
+	if _, err := db.Execute("INSERT INTO t VALUES ('abc')"); err == nil {
+		t.Error("string into int accepted")
+	}
+	if _, err := db.Execute("INSERT INTO t VALUES (1.5)"); err == nil {
+		t.Error("lossy float into int accepted")
+	}
+	mustExec(t, db, "INSERT INTO t VALUES (2.0)") // lossless is fine
+}
+
+func TestInsertWithColumnList(t *testing.T) {
+	db, _, _ := newDB(t)
+	mustExec(t, db, "CREATE TABLE t (a INTEGER, b VARCHAR(8), c INTEGER)")
+	mustExec(t, db, "INSERT INTO t (c, a) VALUES (3, 1)")
+	res, _ := db.Execute("SELECT a, b, c FROM t")
+	r := res.Rows[0]
+	if r[0].AsInt() != 1 || !r[1].IsNull() || r[2].AsInt() != 3 {
+		t.Errorf("row = %v", r)
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	db, _, _ := newDB(t)
+	seed(t, db)
+	res, err := db.Execute("UPDATE flights SET price = price * 2 WHERE dest = 'PT'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].AsInt() != 2 {
+		t.Errorf("affected = %v", res.Rows[0][0])
+	}
+	check, _ := db.Execute("SELECT price FROM flights WHERE id = 1")
+	if check.Rows[0][0].AsFloat() != 241 {
+		t.Errorf("price = %v", check.Rows[0][0])
+	}
+	// Unmatched rows untouched.
+	check, _ = db.Execute("SELECT price FROM flights WHERE id = 2")
+	if check.Rows[0][0].AsFloat() != 89 {
+		t.Errorf("untouched price = %v", check.Rows[0][0])
+	}
+}
+
+func TestDelete(t *testing.T) {
+	db, _, _ := newDB(t)
+	seed(t, db)
+	res, err := db.Execute("DELETE FROM flights WHERE price < 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].AsInt() != 2 {
+		t.Errorf("deleted = %v", res.Rows[0][0])
+	}
+	check, _ := db.Execute("SELECT count(*) FROM flights")
+	if check.Rows[0][0].AsInt() != 2 {
+		t.Errorf("remaining = %v", check.Rows[0][0])
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	db, _, _ := newDB(t)
+	seed(t, db)
+	mustExec(t, db, "DROP TABLE flights")
+	if _, err := db.Execute("SELECT * FROM flights"); err == nil {
+		t.Error("dropped table still queryable")
+	}
+	mustExec(t, db, "DROP TABLE IF EXISTS flights") // idempotent
+	if _, err := db.Execute("DROP TABLE flights"); err == nil {
+		t.Error("dropping missing table without IF EXISTS accepted")
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dev := pager.NewMemDevice()
+	var m simtime.Meter
+	store := pager.NewPager(dev, &m, 64)
+	db, err := Open(store, &m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "CREATE TABLE t (a INTEGER, s VARCHAR(16))")
+	for i := 0; i < 300; i++ {
+		mustExec(t, db, fmt.Sprintf("INSERT INTO t VALUES (%d, 'row-%d')", i, i))
+	}
+
+	// Reopen from the same device with a fresh pager.
+	db2, err := Open(pager.NewPager(dev, &m, 64), &m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db2.Execute("SELECT count(*), min(a), max(a) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Rows[0]
+	if r[0].AsInt() != 300 || r[1].AsInt() != 0 || r[2].AsInt() != 299 {
+		t.Errorf("reopened = %v", r)
+	}
+}
+
+func TestDuplicateTableAndColumn(t *testing.T) {
+	db, _, _ := newDB(t)
+	mustExec(t, db, "CREATE TABLE t (a INTEGER)")
+	if _, err := db.Execute("CREATE TABLE t (b INTEGER)"); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	if _, err := db.Execute("CREATE TABLE u (a INTEGER, A VARCHAR(4))"); err == nil {
+		t.Error("duplicate column accepted")
+	}
+}
+
+func TestInsertArityMismatch(t *testing.T) {
+	db, _, _ := newDB(t)
+	mustExec(t, db, "CREATE TABLE t (a INTEGER, b INTEGER)")
+	if _, err := db.Execute("INSERT INTO t VALUES (1)"); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if _, err := db.Execute("INSERT INTO t (zzz) VALUES (1)"); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if _, err := db.Execute("INSERT INTO missing VALUES (1)"); err == nil {
+		t.Error("insert into missing table accepted")
+	}
+}
+
+func TestInsertRowsBulk(t *testing.T) {
+	db, _, _ := newDB(t)
+	mustExec(t, db, "CREATE TABLE t (a INTEGER, s VARCHAR(8))")
+	rows := make([]schema.Row, 1000)
+	for i := range rows {
+		rows[i] = schema.Row{value.Int(int64(i)), value.Str("x")}
+	}
+	if err := db.InsertRows("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := db.Execute("SELECT count(*) FROM t")
+	if res.Rows[0][0].AsInt() != 1000 {
+		t.Errorf("bulk count = %v", res.Rows[0][0])
+	}
+	if err := db.InsertRows("t", []schema.Row{{value.Int(1)}}); err == nil {
+		t.Error("short row accepted")
+	}
+	if err := db.InsertRows("zzz", nil); err == nil {
+		t.Error("bulk into missing table accepted")
+	}
+}
+
+func TestTableNamesAndCounts(t *testing.T) {
+	db, _, _ := newDB(t)
+	seed(t, db)
+	names := db.TableNames()
+	if len(names) != 1 || names[0] != "flights" {
+		t.Errorf("names = %v", names)
+	}
+	tab, err := db.Table("FLIGHTS") // case-insensitive
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := tab.Count()
+	if n != 4 {
+		t.Errorf("count = %d", n)
+	}
+	if tab.NumPages() < 1 {
+		t.Error("no pages")
+	}
+}
+
+func TestMeterChargesPages(t *testing.T) {
+	db, _, m := newDB(t)
+	seed(t, db)
+	base := m.Snapshot()
+	db.Execute("SELECT count(*) FROM flights")
+	d := m.Snapshot().Sub(base)
+	if d.TupleWork == 0 {
+		t.Errorf("work not charged: %+v", d)
+	}
+}
+
+func TestUpdateWithSubqueryPredicate(t *testing.T) {
+	db, _, _ := newDB(t)
+	seed(t, db)
+	// Correlate against the same table through the catalog.
+	_, err := db.Execute("UPDATE flights SET price = 0 WHERE price = (SELECT max(price) FROM flights)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := db.Execute("SELECT count(*) FROM flights WHERE price = 0")
+	if res.Rows[0][0].AsInt() != 1 {
+		t.Errorf("subquery update = %v", res.Rows[0][0])
+	}
+}
+
+func TestCorruptedCatalogDetected(t *testing.T) {
+	dev := pager.NewMemDevice()
+	var m simtime.Meter
+	db, err := Open(pager.NewPager(dev, &m, 0), &m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "CREATE TABLE t (a INTEGER)")
+	mustExec(t, db, "INSERT INTO t VALUES (1)")
+	// Corrupt the catalog root's length field wildly.
+	root, _ := dev.ReadBlock(0)
+	root[0] = 0xFF
+	root[1] = 0xFF
+	root[2] = 0xFF
+	dev.WriteBlock(0, root)
+	if _, err := Open(pager.NewPager(dev, &m, 0), &m); err == nil {
+		t.Error("corrupted catalog accepted at open")
+	}
+}
+
+func TestReopenEmptyDatabase(t *testing.T) {
+	dev := pager.NewMemDevice()
+	var m simtime.Meter
+	if _, err := Open(pager.NewPager(dev, &m, 0), &m); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(pager.NewPager(dev, &m, 0), &m)
+	if err != nil {
+		t.Fatalf("reopening empty db: %v", err)
+	}
+	if len(db2.TableNames()) != 0 {
+		t.Errorf("tables = %v", db2.TableNames())
+	}
+}
+
+func TestConcurrentReadersAndWriter(t *testing.T) {
+	db, _, _ := newDB(t)
+	mustExec(t, db, "CREATE TABLE t (a INTEGER)")
+	mustExec(t, db, "INSERT INTO t VALUES (1), (2), (3)")
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				res, err := db.Execute("SELECT count(*) FROM t")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Rows[0][0].AsInt() < 3 {
+					errs <- fmt.Errorf("count shrank: %v", res.Rows[0][0])
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 30; i++ {
+			if _, err := db.Execute(fmt.Sprintf("INSERT INTO t VALUES (%d)", 10+i)); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	res, _ := db.Execute("SELECT count(*) FROM t")
+	if res.Rows[0][0].AsInt() != 33 {
+		t.Errorf("final count = %v", res.Rows[0][0])
+	}
+}

@@ -1,0 +1,204 @@
+// Package hostengine implements IronSafe's host engine: the SGX-shielded
+// query processor that receives client queries, partitions them with the
+// query partitioner, offloads per-table fragments to storage nodes, and runs
+// the compute-intensive remainder (joins, group-bys, aggregations) over the
+// shipped rows inside the enclave.
+package hostengine
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"strings"
+
+	"ironsafe/internal/engine"
+	"ironsafe/internal/partition"
+	"ironsafe/internal/simtime"
+	"ironsafe/internal/sql/exec"
+	"ironsafe/internal/sql/parser"
+	"ironsafe/internal/tee/sgx"
+)
+
+// Config configures a host engine.
+type Config struct {
+	ID        string
+	Location  string
+	FWVersion string
+	// Platform is the SGX platform; required when Secure.
+	Platform *sgx.Platform
+	// Image is the host engine code identity measured into the enclave.
+	Image []byte
+	// Secure runs query processing inside an enclave (hos/scs); false is
+	// the non-secure baseline (hons/vcs).
+	Secure bool
+	// EPCLimitBytes overrides the enclave page cache size (default 96 MiB).
+	EPCLimitBytes int64
+	// Meter receives the host's work counters. Required.
+	Meter *simtime.Meter
+}
+
+// Host is one host engine instance.
+type Host struct {
+	cfg          Config
+	enclave      *sgx.Enclave
+	transportPub []byte
+	schemas      partition.SchemaMap
+}
+
+// New creates a host engine, loading its enclave when Secure.
+func New(cfg Config) (*Host, error) {
+	if cfg.Meter == nil {
+		return nil, errors.New("hostengine: meter required")
+	}
+	h := &Host{cfg: cfg, schemas: partition.SchemaMap{}}
+	h.transportPub = make([]byte, 32)
+	if _, err := rand.Read(h.transportPub); err != nil {
+		return nil, err
+	}
+	if cfg.Secure {
+		if cfg.Platform == nil {
+			return nil, errors.New("hostengine: secure host requires an SGX platform")
+		}
+		img := cfg.Image
+		if len(img) == 0 {
+			img = []byte("ironsafe host engine " + cfg.FWVersion)
+		}
+		enc, err := cfg.Platform.CreateEnclave(img, sgx.Config{Meter: cfg.Meter, EPCLimitBytes: cfg.EPCLimitBytes})
+		if err != nil {
+			return nil, err
+		}
+		h.enclave = enc
+	}
+	return h, nil
+}
+
+// TransportPub is the host's channel identity, bound into its quote.
+func (h *Host) TransportPub() []byte { return h.transportPub }
+
+// Enclave returns the host enclave (nil when non-secure).
+func (h *Host) Enclave() *sgx.Enclave { return h.enclave }
+
+// Quote produces the attestation quote binding the transport key.
+func (h *Host) Quote(reportData [64]byte) (sgx.Quote, error) {
+	if h.enclave == nil {
+		return sgx.Quote{}, errors.New("hostengine: non-secure host cannot attest")
+	}
+	return h.enclave.GetQuote(reportData), nil
+}
+
+// SetSchemas installs the storage catalog's table schemas (needed by the
+// partitioner).
+func (h *Host) SetSchemas(m partition.SchemaMap) { h.schemas = m }
+
+// Schemas returns the installed schema map.
+func (h *Host) Schemas() partition.SchemaMap { return h.schemas }
+
+// StorageNode is the host's view of one storage system: a channel to submit
+// offloaded fragments on.
+type StorageNode interface {
+	NodeID() string
+	// Offload runs sql near the data and returns the filtered rows plus
+	// the number of wire bytes the shipped result occupied.
+	Offload(sql string) (*exec.Result, int64, error)
+}
+
+// SplitOutcome reports what a split execution did (feeds Figures 6-8).
+type SplitOutcome struct {
+	Split        *partition.Split
+	RowsShipped  int64
+	BytesShipped int64
+	Offloads     int
+}
+
+// ExecuteSplit partitions sql, offloads the per-table fragments across
+// nodes (round-robin), and runs the host query over the shipped tables
+// inside the enclave.
+func (h *Host) ExecuteSplit(sqlText string, nodes []StorageNode) (*exec.Result, *SplitOutcome, error) {
+	if len(nodes) == 0 {
+		return nil, nil, errors.New("hostengine: no storage nodes")
+	}
+	sel, err := parser.ParseSelect(sqlText)
+	if err != nil {
+		return nil, nil, err
+	}
+	split, err := partition.SplitQuery(sel, h.schemas)
+	if err != nil {
+		return nil, nil, err
+	}
+	outcome := &SplitOutcome{Split: split}
+	cat := shippedCatalog{}
+	for i, ship := range split.Ships {
+		node := nodes[i%len(nodes)]
+		res, bytes, err := node.Offload(ship.SQL)
+		if err != nil {
+			return nil, nil, fmt.Errorf("hostengine: offload %q to %s: %w", ship.Table, node.NodeID(), err)
+		}
+		cat[ship.Table] = &exec.MemRelation{Sch: res.Sch, Rows: res.Rows}
+		outcome.RowsShipped += int64(len(res.Rows))
+		outcome.BytesShipped += bytes
+		outcome.Offloads++
+		if h.enclave != nil {
+			// Shipped rows enter the enclave through OCall buffers and
+			// stay resident as the host-side temp table.
+			h.enclave.OCall(func() error { return nil })
+			h.enclave.Alloc("shipped-"+ship.Table, bytes)
+		}
+	}
+	var res *exec.Result
+	run := func() error {
+		var err error
+		res, err = exec.Run(split.Host, cat, h.cfg.Meter)
+		return err
+	}
+	if h.enclave != nil {
+		err = h.enclave.ECall(run)
+	} else {
+		err = run()
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	// Session cleanup: temp tables wiped after the result is produced.
+	if h.enclave != nil {
+		for _, ship := range split.Ships {
+			h.enclave.Alloc("shipped-"+ship.Table, 0)
+		}
+	}
+	return res, outcome, nil
+}
+
+// ExecuteLocal runs sql on a locally attached database (the host-only and
+// storage-only configurations), inside the enclave when secure.
+func (h *Host) ExecuteLocal(db *engine.DB, sqlText string) (*exec.Result, error) {
+	var res *exec.Result
+	run := func() error {
+		var err error
+		res, err = db.Execute(sqlText)
+		return err
+	}
+	var err error
+	if h.enclave != nil {
+		err = h.enclave.ECall(run)
+	} else {
+		err = run()
+	}
+	return res, err
+}
+
+type shippedCatalog map[string]*exec.MemRelation
+
+func (c shippedCatalog) Relation(name string) (exec.Relation, error) {
+	r, ok := c[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("hostengine: table %q was not shipped", name)
+	}
+	return r, nil
+}
+
+// Meter returns the host's meter.
+func (h *Host) Meter() *simtime.Meter { return h.cfg.Meter }
+
+// Info returns (id, location, fw).
+func (h *Host) Info() (string, string, string) {
+	return h.cfg.ID, h.cfg.Location, h.cfg.FWVersion
+}

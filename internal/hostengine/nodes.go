@@ -1,0 +1,237 @@
+package hostengine
+
+import (
+	"errors"
+	"net"
+
+	"ironsafe/internal/pager"
+	"ironsafe/internal/simtime"
+	"ironsafe/internal/sql/exec"
+	"ironsafe/internal/storageengine"
+	"ironsafe/internal/tee/sgx"
+	"ironsafe/internal/transport"
+)
+
+// LocalNode adapts an in-process storage server to StorageNode. Results are
+// still serialized through the wire codec so data-movement accounting (the
+// quantity Figures 6-8 turn on) matches a networked deployment exactly.
+type LocalNode struct {
+	Server       *storageengine.Server
+	HostMeter    *simtime.Meter
+	StorageMeter *simtime.Meter
+}
+
+// NodeID implements StorageNode.
+func (n *LocalNode) NodeID() string {
+	id, _, _ := n.Server.Info()
+	return id
+}
+
+// Offload implements StorageNode.
+func (n *LocalNode) Offload(sql string) (*exec.Result, int64, error) {
+	reqBytes := int64(len(sql)) + 64 // request frame incl. channel overhead
+	res, err := n.Server.ExecOffload(sql)
+	if err != nil {
+		return nil, 0, err
+	}
+	blob, err := exec.EncodeResult(res)
+	if err != nil {
+		return nil, 0, err
+	}
+	wire := int64(len(blob)) + 64
+	if n.StorageMeter != nil {
+		n.StorageMeter.BytesReceived.Add(reqBytes)
+		n.StorageMeter.BytesSent.Add(wire)
+		n.StorageMeter.RowsShipped.Add(int64(len(res.Rows)))
+	}
+	if n.HostMeter != nil {
+		n.HostMeter.BytesSent.Add(reqBytes)
+		n.HostMeter.BytesReceived.Add(wire)
+		n.HostMeter.RowsShipped.Add(int64(len(res.Rows)))
+	}
+	return res, wire, nil
+}
+
+// RemoteNode is a StorageNode over a monitor-keyed secure channel.
+type RemoteNode struct {
+	ID   string
+	Conn *transport.SecureConn
+}
+
+// DialStorage opens the session-bound channel to a storage server started
+// with storageengine.Server.Serve.
+func DialStorage(addr, nodeID, sessionID string, sessionKey []byte, meter *simtime.Meter) (*RemoteNode, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	// Plaintext preamble naming the session, then the bound handshake.
+	if len(sessionID) > 255 {
+		conn.Close()
+		return nil, errors.New("hostengine: session id too long")
+	}
+	pre := append([]byte{byte(len(sessionID))}, sessionID...)
+	if _, err := conn.Write(pre); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	sc, err := transport.Client(conn, sessionKey, meter)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &RemoteNode{ID: nodeID, Conn: sc}, nil
+}
+
+// NodeID implements StorageNode.
+func (n *RemoteNode) NodeID() string { return n.ID }
+
+// Offload implements StorageNode.
+func (n *RemoteNode) Offload(sql string) (*exec.Result, int64, error) {
+	if err := n.Conn.Send("offload", []byte(sql)); err != nil {
+		return nil, 0, err
+	}
+	typ, payload, err := n.Conn.Recv()
+	if err != nil {
+		return nil, 0, err
+	}
+	if typ == "error" {
+		return nil, 0, errors.New("hostengine: storage error: " + string(payload))
+	}
+	res, err := exec.DecodeResult(payload)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, int64(len(payload)), nil
+}
+
+// Close ends the channel.
+func (n *RemoteNode) Close() error {
+	n.Conn.Send("bye", nil)
+	return n.Conn.Close()
+}
+
+// BlockFetcher serves raw medium blocks remotely — the NFS-like access path
+// of the host-only configurations (hons/hos), where the host mounts the
+// storage server's drive over the network.
+type BlockFetcher interface {
+	FetchBlock(idx uint32) ([]byte, error)
+	StoreBlock(idx uint32, data []byte) error
+	Blocks() uint32
+}
+
+// RemoteDevice is a pager.BlockDevice whose blocks live on a remote storage
+// server; every access moves the block over the link.
+type RemoteDevice struct {
+	Fetcher   BlockFetcher
+	HostMeter *simtime.Meter
+}
+
+const blockRequestOverhead = 16
+
+// ReadBlock implements pager.BlockDevice.
+func (d *RemoteDevice) ReadBlock(idx uint32) ([]byte, error) {
+	b, err := d.Fetcher.FetchBlock(idx)
+	if err != nil {
+		return nil, err
+	}
+	if d.HostMeter != nil {
+		d.HostMeter.BytesSent.Add(blockRequestOverhead)
+		d.HostMeter.BytesReceived.Add(int64(len(b)) + blockRequestOverhead)
+	}
+	return b, nil
+}
+
+// WriteBlock implements pager.BlockDevice.
+func (d *RemoteDevice) WriteBlock(idx uint32, data []byte) error {
+	if d.HostMeter != nil {
+		d.HostMeter.BytesSent.Add(int64(len(data)) + blockRequestOverhead)
+		d.HostMeter.BytesReceived.Add(blockRequestOverhead)
+	}
+	return d.Fetcher.StoreBlock(idx, data)
+}
+
+// NumBlocks implements pager.BlockDevice.
+func (d *RemoteDevice) NumBlocks() uint32 { return d.Fetcher.Blocks() }
+
+var _ pager.BlockDevice = (*RemoteDevice)(nil)
+
+// EnclavePageStore wraps a PageStore so every page access pays the SGX
+// costs the paper measures for host-only-secure execution: an enclave
+// transition to fetch the page and EPC residency for the page plus the
+// Merkle verification path. When the Merkle tree outgrows the EPC (scale
+// factors 4-5 in Fig 9a), the path touches fault.
+type EnclavePageStore struct {
+	Inner   pager.PageStore
+	Enclave *sgx.Enclave
+	// TreeBytes reports the current Merkle tree size (nil for non-secure
+	// inner stores).
+	TreeBytes func() int64
+}
+
+// Synthetic enclave address-space layout.
+const (
+	dataRegionBase = uint64(1) << 40
+	treeRegionBase = uint64(1) << 41
+)
+
+// ReadPage implements pager.PageStore.
+func (e *EnclavePageStore) ReadPage(idx uint32) ([]byte, error) {
+	var out []byte
+	err := e.Enclave.OCall(func() error { // exit to fetch the page
+		var err error
+		out, err = e.Inner.ReadPage(idx)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.touch(idx)
+	return out, nil
+}
+
+// WritePage implements pager.PageStore.
+func (e *EnclavePageStore) WritePage(idx uint32, data []byte) error {
+	err := e.Enclave.OCall(func() error { return e.Inner.WritePage(idx, data) })
+	if err != nil {
+		return err
+	}
+	e.touch(idx)
+	return nil
+}
+
+// Allocate implements pager.PageStore.
+func (e *EnclavePageStore) Allocate() (uint32, error) {
+	var idx uint32
+	err := e.Enclave.OCall(func() error {
+		var err error
+		idx, err = e.Inner.Allocate()
+		return err
+	})
+	return idx, err
+}
+
+// NumPages implements pager.PageStore.
+func (e *EnclavePageStore) NumPages() uint32 { return e.Inner.NumPages() }
+
+// touch charges EPC residency for the page and its verification path.
+func (e *EnclavePageStore) touch(idx uint32) {
+	e.Enclave.Touch(dataRegionBase+uint64(idx)*pager.PageSize, pager.PageSize)
+	if e.TreeBytes == nil {
+		return
+	}
+	tb := e.TreeBytes()
+	if tb == 0 {
+		return
+	}
+	// Leaf region entry plus two ancestor regions spread across the tree:
+	// with the whole tree resident this is free; once the tree exceeds the
+	// EPC these touches sustain the paging the paper reports.
+	leafOff := (uint64(idx) * 32) % uint64(tb)
+	midOff := (uint64(idx)*257 + 4096) * 64 % uint64(tb)
+	e.Enclave.Touch(treeRegionBase+leafOff, 64)
+	e.Enclave.Touch(treeRegionBase+midOff, 64)
+	e.Enclave.Touch(treeRegionBase+uint64(tb), 64) // root neighbourhood
+}
+
+var _ pager.PageStore = (*EnclavePageStore)(nil)

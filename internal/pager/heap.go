@@ -1,0 +1,199 @@
+package pager
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ironsafe/internal/schema"
+)
+
+// HeapFile stores a table's rows across pages of a PageStore. Page layout:
+//
+//	u16 row count | u16 used bytes | rows encoded back-to-back
+//
+// The page list is owned by the heap file and persisted by the engine's
+// catalog; there is no free-space map — rows append to the tail page, which
+// matches the bulk-load-then-scan usage of the TPC-H workload while still
+// supporting point updates via rewrite.
+type HeapFile struct {
+	store PageStore
+	pages []uint32
+}
+
+const heapHeaderSize = 4
+
+// NewHeapFile creates an empty heap on the store.
+func NewHeapFile(store PageStore) *HeapFile {
+	return &HeapFile{store: store}
+}
+
+// OpenHeapFile re-attaches to an existing page list (from the catalog).
+func OpenHeapFile(store PageStore, pages []uint32) *HeapFile {
+	return &HeapFile{store: store, pages: append([]uint32(nil), pages...)}
+}
+
+// Pages returns the heap's page list for catalog persistence.
+func (h *HeapFile) Pages() []uint32 { return append([]uint32(nil), h.pages...) }
+
+// NumPages returns how many pages the heap occupies.
+func (h *HeapFile) NumPages() int { return len(h.pages) }
+
+func pageHeader(buf []byte) (rows, used int) {
+	return int(binary.LittleEndian.Uint16(buf[0:2])), int(binary.LittleEndian.Uint16(buf[2:4]))
+}
+
+func setPageHeader(buf []byte, rows, used int) {
+	binary.LittleEndian.PutUint16(buf[0:2], uint16(rows))
+	binary.LittleEndian.PutUint16(buf[2:4], uint16(used))
+}
+
+// Append adds a row to the heap, allocating pages as needed.
+func (h *HeapFile) Append(r schema.Row) error {
+	need := schema.EncodedSize(r)
+	if need > PageSize-heapHeaderSize {
+		return fmt.Errorf("pager: row of %d bytes exceeds page capacity", need)
+	}
+	if len(h.pages) > 0 {
+		last := h.pages[len(h.pages)-1]
+		buf, err := h.store.ReadPage(last)
+		if err != nil {
+			return fmt.Errorf("pager: heap tail page %d: %w", last, err)
+		}
+		rows, used := pageHeader(buf)
+		if heapHeaderSize+used+need <= PageSize {
+			buf = append(buf[:heapHeaderSize+used], schema.EncodeRow(nil, r)...)
+			if len(buf) < PageSize {
+				buf = append(buf, make([]byte, PageSize-len(buf))...)
+			}
+			setPageHeader(buf, rows+1, used+need)
+			return h.store.WritePage(last, buf)
+		}
+	}
+	idx, err := h.store.Allocate()
+	if err != nil {
+		return fmt.Errorf("pager: allocating heap page: %w", err)
+	}
+	buf := make([]byte, PageSize)
+	copy(buf[heapHeaderSize:], schema.EncodeRow(nil, r))
+	setPageHeader(buf, 1, need)
+	h.pages = append(h.pages, idx)
+	return h.store.WritePage(idx, buf)
+}
+
+// AppendAll bulk-loads rows, batching page writes (one write per filled
+// page rather than one per row).
+func (h *HeapFile) AppendAll(rows []schema.Row) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	var buf []byte
+	var count, used int
+	var pageIdx uint32
+	havePage := false
+
+	flush := func() error {
+		if !havePage {
+			return nil
+		}
+		if len(buf) < PageSize {
+			buf = append(buf, make([]byte, PageSize-len(buf))...)
+		}
+		setPageHeader(buf, count, used)
+		return h.store.WritePage(pageIdx, buf)
+	}
+	// Start by trying to fill the existing tail page.
+	if len(h.pages) > 0 {
+		last := h.pages[len(h.pages)-1]
+		existing, err := h.store.ReadPage(last)
+		if err != nil {
+			return fmt.Errorf("pager: heap tail page %d: %w", last, err)
+		}
+		count, used = pageHeader(existing)
+		buf = existing[:heapHeaderSize+used]
+		pageIdx = last
+		havePage = true
+	}
+	for _, r := range rows {
+		need := schema.EncodedSize(r)
+		if need > PageSize-heapHeaderSize {
+			return fmt.Errorf("pager: row of %d bytes exceeds page capacity", need)
+		}
+		if !havePage || heapHeaderSize+used+need > PageSize {
+			if err := flush(); err != nil {
+				return err
+			}
+			idx, err := h.store.Allocate()
+			if err != nil {
+				return fmt.Errorf("pager: allocating heap page: %w", err)
+			}
+			h.pages = append(h.pages, idx)
+			pageIdx = idx
+			buf = make([]byte, heapHeaderSize, PageSize)
+			count, used = 0, 0
+			havePage = true
+		}
+		buf = schema.EncodeRow(buf, r)
+		count++
+		used += need
+	}
+	return flush()
+}
+
+// Scan calls fn for every row in heap order. Returning a non-nil error from
+// fn stops the scan; ErrStopScan stops it without reporting an error.
+func (h *HeapFile) Scan(fn func(schema.Row) error) error {
+	for _, idx := range h.pages {
+		buf, err := h.store.ReadPage(idx)
+		if err != nil {
+			return fmt.Errorf("pager: heap page %d: %w", idx, err)
+		}
+		rows, used := pageHeader(buf)
+		pos := heapHeaderSize
+		end := heapHeaderSize + used
+		for i := 0; i < rows; i++ {
+			if pos >= end {
+				return fmt.Errorf("pager: heap page %d truncated at row %d", idx, i)
+			}
+			r, n, err := schema.DecodeRow(buf[pos:end])
+			if err != nil {
+				return fmt.Errorf("pager: heap page %d row %d: %w", idx, i, err)
+			}
+			pos += n
+			if err := fn(r); err != nil {
+				if err == ErrStopScan {
+					return nil
+				}
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ErrStopScan terminates a Scan early without error.
+var ErrStopScan = fmt.Errorf("pager: stop scan")
+
+// Rewrite replaces the heap's entire contents with rows, reusing its pages
+// (used by UPDATE/DELETE and session cleanup).
+func (h *HeapFile) Rewrite(rows []schema.Row) error {
+	old := h.pages
+	h.pages = nil
+	if err := h.AppendAll(rows); err != nil {
+		return err
+	}
+	// Zero the abandoned pages so deleted data does not linger on the
+	// medium (the paper's session-cleanup requirement).
+	for _, idx := range old {
+		if err := h.store.WritePage(idx, make([]byte, PageSize)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Count returns the number of rows by scanning.
+func (h *HeapFile) Count() (int, error) {
+	n := 0
+	err := h.Scan(func(schema.Row) error { n++; return nil })
+	return n, err
+}

@@ -1,0 +1,344 @@
+package pager
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ironsafe/internal/schema"
+	"ironsafe/internal/simtime"
+	"ironsafe/internal/value"
+)
+
+func TestMemDeviceRoundTrip(t *testing.T) {
+	d := NewMemDevice()
+	if _, err := d.ReadBlock(0); !errors.Is(err, ErrBlockNotFound) {
+		t.Errorf("read of unwritten block: %v", err)
+	}
+	if err := d.WriteBlock(3, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ReadBlock(3)
+	if err != nil || string(got) != "hello" {
+		t.Errorf("roundtrip: %q, %v", got, err)
+	}
+	if d.NumBlocks() != 4 {
+		t.Errorf("NumBlocks = %d", d.NumBlocks())
+	}
+	// Returned slice must not alias the stored one.
+	got[0] = 'X'
+	got2, _ := d.ReadBlock(3)
+	if got2[0] != 'h' {
+		t.Error("ReadBlock aliases internal storage")
+	}
+}
+
+func TestMemDeviceCorrupt(t *testing.T) {
+	d := NewMemDevice()
+	d.WriteBlock(0, []byte{0xAA})
+	if err := d.Corrupt(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := d.ReadBlock(0)
+	if got[0] != 0xAB {
+		t.Errorf("corrupt flipped wrong bit: %x", got[0])
+	}
+	if err := d.Corrupt(0, 5); err == nil {
+		t.Error("out-of-range corrupt accepted")
+	}
+	if err := d.Corrupt(9, 0); err == nil {
+		t.Error("corrupt of missing block accepted")
+	}
+}
+
+func TestMemDeviceSnapshotRestore(t *testing.T) {
+	d := NewMemDevice()
+	d.WriteBlock(0, []byte("v1"))
+	snap := d.SnapshotBlocks()
+	d.WriteBlock(0, []byte("v2"))
+	d.WriteBlock(1, []byte("new"))
+	d.RestoreBlocks(snap)
+	got, _ := d.ReadBlock(0)
+	if string(got) != "v1" {
+		t.Errorf("rollback restore = %q", got)
+	}
+	if _, err := d.ReadBlock(1); err == nil {
+		t.Error("restored device still has post-snapshot block")
+	}
+	if d.NumBlocks() != 1 {
+		t.Errorf("NumBlocks after restore = %d", d.NumBlocks())
+	}
+}
+
+func TestPagerReadWriteMetered(t *testing.T) {
+	var m simtime.Meter
+	p := NewPager(NewMemDevice(), &m, 0)
+	idx, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WritePage(idx, []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.ReadPage(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != PageSize || !bytes.HasPrefix(got, []byte("data")) {
+		t.Errorf("page = %d bytes, prefix %q", len(got), got[:4])
+	}
+	s := m.Snapshot()
+	if s.PagesWritten != 2 || s.PagesRead != 1 {
+		t.Errorf("meter = %+v", s)
+	}
+}
+
+func TestPagerCacheAvoidsDeviceReads(t *testing.T) {
+	var m simtime.Meter
+	p := NewPager(NewMemDevice(), &m, 8)
+	idx, _ := p.Allocate()
+	p.WritePage(idx, []byte("x"))
+	base := m.Snapshot().PagesRead
+	for i := 0; i < 5; i++ {
+		if _, err := p.ReadPage(idx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Snapshot().PagesRead - base; got != 0 {
+		t.Errorf("cached reads hit the device %d times", got)
+	}
+}
+
+func TestPagerCacheEviction(t *testing.T) {
+	var m simtime.Meter
+	p := NewPager(NewMemDevice(), &m, 2)
+	var ids []uint32
+	for i := 0; i < 4; i++ {
+		idx, _ := p.Allocate()
+		p.WritePage(idx, []byte{byte(i)})
+		ids = append(ids, idx)
+	}
+	base := m.Snapshot().PagesRead
+	// Oldest pages were evicted; reading them hits the device.
+	p.ReadPage(ids[0])
+	if got := m.Snapshot().PagesRead - base; got != 1 {
+		t.Errorf("evicted page read did not hit device (reads=%d)", got)
+	}
+}
+
+func TestPagerOversizeWriteRejected(t *testing.T) {
+	p := NewPager(NewMemDevice(), nil, 0)
+	if err := p.WritePage(0, make([]byte, PageSize+1)); err == nil {
+		t.Error("oversized page accepted")
+	}
+}
+
+func TestPagerAllocateSequential(t *testing.T) {
+	p := NewPager(NewMemDevice(), nil, 0)
+	a, _ := p.Allocate()
+	b, _ := p.Allocate()
+	if b != a+1 {
+		t.Errorf("allocation not sequential: %d, %d", a, b)
+	}
+	if p.NumPages() != 2 {
+		t.Errorf("NumPages = %d", p.NumPages())
+	}
+}
+
+func testRow(i int) schema.Row {
+	return schema.Row{
+		value.Int(int64(i)),
+		value.Str(fmt.Sprintf("customer-%d-with-some-padding", i)),
+		value.Float(float64(i) * 1.5),
+	}
+}
+
+func TestHeapAppendScan(t *testing.T) {
+	p := NewPager(NewMemDevice(), nil, 16)
+	h := NewHeapFile(p)
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := h.Append(testRow(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.NumPages() < 2 {
+		t.Errorf("expected multiple pages, got %d", h.NumPages())
+	}
+	var got []schema.Row
+	if err := h.Scan(func(r schema.Row) error {
+		got = append(got, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("scanned %d rows, want %d", len(got), n)
+	}
+	for i, r := range got {
+		if r[0].AsInt() != int64(i) {
+			t.Fatalf("row %d out of order: %v", i, r)
+		}
+	}
+}
+
+func TestHeapAppendAllMatchesAppend(t *testing.T) {
+	mk := func() []schema.Row {
+		rows := make([]schema.Row, 300)
+		for i := range rows {
+			rows[i] = testRow(i)
+		}
+		return rows
+	}
+	p1 := NewPager(NewMemDevice(), nil, 16)
+	h1 := NewHeapFile(p1)
+	for _, r := range mk() {
+		if err := h1.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p2 := NewPager(NewMemDevice(), nil, 16)
+	h2 := NewHeapFile(p2)
+	if err := h2.AppendAll(mk()); err != nil {
+		t.Fatal(err)
+	}
+	c1, _ := h1.Count()
+	c2, _ := h2.Count()
+	if c1 != c2 || c1 != 300 {
+		t.Errorf("counts: %d vs %d", c1, c2)
+	}
+	if h1.NumPages() != h2.NumPages() {
+		t.Errorf("page counts differ: %d vs %d", h1.NumPages(), h2.NumPages())
+	}
+}
+
+func TestHeapAppendAllContinuesTailPage(t *testing.T) {
+	p := NewPager(NewMemDevice(), nil, 16)
+	h := NewHeapFile(p)
+	if err := h.AppendAll([]schema.Row{testRow(0)}); err != nil {
+		t.Fatal(err)
+	}
+	pages := h.NumPages()
+	if err := h.AppendAll([]schema.Row{testRow(1), testRow(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if h.NumPages() != pages {
+		t.Errorf("small second batch should reuse tail page: %d -> %d", pages, h.NumPages())
+	}
+	c, _ := h.Count()
+	if c != 3 {
+		t.Errorf("count = %d", c)
+	}
+}
+
+func TestHeapOpenFromPageList(t *testing.T) {
+	p := NewPager(NewMemDevice(), nil, 16)
+	h := NewHeapFile(p)
+	h.AppendAll([]schema.Row{testRow(1), testRow(2)})
+	h2 := OpenHeapFile(p, h.Pages())
+	c, err := h2.Count()
+	if err != nil || c != 2 {
+		t.Errorf("reopened heap count = %d, %v", c, err)
+	}
+}
+
+func TestHeapScanEarlyStop(t *testing.T) {
+	p := NewPager(NewMemDevice(), nil, 16)
+	h := NewHeapFile(p)
+	for i := 0; i < 10; i++ {
+		h.Append(testRow(i))
+	}
+	seen := 0
+	err := h.Scan(func(r schema.Row) error {
+		seen++
+		if seen == 3 {
+			return ErrStopScan
+		}
+		return nil
+	})
+	if err != nil || seen != 3 {
+		t.Errorf("early stop: seen=%d err=%v", seen, err)
+	}
+	wantErr := errors.New("app error")
+	err = h.Scan(func(schema.Row) error { return wantErr })
+	if !errors.Is(err, wantErr) {
+		t.Errorf("scan error passthrough = %v", err)
+	}
+}
+
+func TestHeapRewriteZeroesOldPages(t *testing.T) {
+	dev := NewMemDevice()
+	p := NewPager(dev, nil, 0)
+	h := NewHeapFile(p)
+	for i := 0; i < 200; i++ {
+		h.Append(testRow(i))
+	}
+	oldPages := h.Pages()
+	if err := h.Rewrite([]schema.Row{testRow(999)}); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := h.Count()
+	if c != 1 {
+		t.Errorf("count after rewrite = %d", c)
+	}
+	for _, idx := range oldPages {
+		b, err := dev.ReadBlock(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b, make([]byte, PageSize)) {
+			t.Fatalf("old page %d not zeroed", idx)
+		}
+	}
+}
+
+func TestHeapOversizedRow(t *testing.T) {
+	p := NewPager(NewMemDevice(), nil, 0)
+	h := NewHeapFile(p)
+	big := schema.Row{value.Str(string(make([]byte, PageSize)))}
+	if err := h.Append(big); err == nil {
+		t.Error("oversized row accepted by Append")
+	}
+	if err := h.AppendAll([]schema.Row{big}); err == nil {
+		t.Error("oversized row accepted by AppendAll")
+	}
+}
+
+func TestHeapPropertyRandomBatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	p := NewPager(NewMemDevice(), nil, 32)
+	h := NewHeapFile(p)
+	var want []int64
+	for batch := 0; batch < 20; batch++ {
+		n := rng.Intn(50)
+		rows := make([]schema.Row, n)
+		for i := range rows {
+			v := rng.Int63n(1 << 40)
+			rows[i] = schema.Row{value.Int(v), value.Str(string(make([]byte, rng.Intn(200))))}
+			want = append(want, v)
+		}
+		if rng.Intn(2) == 0 {
+			if err := h.AppendAll(rows); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			for _, r := range rows {
+				if err := h.Append(r); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	var got []int64
+	h.Scan(func(r schema.Row) error { got = append(got, r[0].AsInt()); return nil })
+	if len(got) != len(want) {
+		t.Fatalf("rows: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package exec
+
+import (
+	"fmt"
+
+	"ironsafe/internal/schema"
+	"ironsafe/internal/sql/ast"
+	"ironsafe/internal/value"
+)
+
+// aggSpec is one distinct aggregate call appearing anywhere in a query.
+type aggSpec struct {
+	key  string // canonical text, used for substitution
+	call *ast.FuncCall
+}
+
+// collectAggregates returns the distinct aggregate calls in the given
+// expressions, keyed by their text.
+func collectAggregates(exprs []ast.Expr) []aggSpec {
+	seen := map[string]bool{}
+	var specs []aggSpec
+	for _, e := range exprs {
+		ast.Walk(e, func(x ast.Expr) bool {
+			if f, ok := x.(*ast.FuncCall); ok && f.IsAggregate() {
+				k := f.String()
+				if !seen[k] {
+					seen[k] = true
+					specs = append(specs, aggSpec{key: k, call: f})
+				}
+				return false // don't collect nested aggregates
+			}
+			return true
+		})
+	}
+	return specs
+}
+
+// accumulator incrementally computes one aggregate.
+type accumulator struct {
+	call     *ast.FuncCall
+	count    int64
+	sumF     float64
+	sumI     int64
+	isFloat  bool
+	min, max value.Value
+	distinct map[string]bool
+}
+
+func newAccumulator(call *ast.FuncCall) *accumulator {
+	a := &accumulator{call: call, min: value.Null(), max: value.Null()}
+	if call.Distinct {
+		a.distinct = map[string]bool{}
+	}
+	return a
+}
+
+// add folds one input row into the accumulator.
+func (a *accumulator) add(c *evalCtx, row schema.Row) error {
+	if a.call.Star {
+		a.count++
+		return nil
+	}
+	v, err := c.withRow(row).eval(a.call.Args[0])
+	if err != nil {
+		return err
+	}
+	if v.IsNull() {
+		return nil // aggregates ignore NULL inputs
+	}
+	if a.distinct != nil {
+		k := v.HashKey()
+		if a.distinct[k] {
+			return nil
+		}
+		a.distinct[k] = true
+	}
+	a.count++
+	switch a.call.Name {
+	case "SUM", "AVG":
+		if !v.IsNumeric() {
+			return fmt.Errorf("exec: %s over %s", a.call.Name, v.Kind())
+		}
+		if v.Kind() == value.KindFloat {
+			a.isFloat = true
+			a.sumF += v.AsFloat()
+		} else {
+			a.sumI += v.AsInt()
+		}
+	case "MIN":
+		if a.min.IsNull() || value.MustCompare(v, a.min) < 0 {
+			a.min = v
+		}
+	case "MAX":
+		if a.max.IsNull() || value.MustCompare(v, a.max) > 0 {
+			a.max = v
+		}
+	}
+	return nil
+}
+
+// result finalizes the aggregate value.
+func (a *accumulator) result() value.Value {
+	switch a.call.Name {
+	case "COUNT":
+		return value.Int(a.count)
+	case "SUM":
+		if a.count == 0 {
+			return value.Null()
+		}
+		if a.isFloat {
+			return value.Float(a.sumF + float64(a.sumI))
+		}
+		return value.Int(a.sumI)
+	case "AVG":
+		if a.count == 0 {
+			return value.Null()
+		}
+		return value.Float((a.sumF + float64(a.sumI)) / float64(a.count))
+	case "MIN":
+		return a.min
+	case "MAX":
+		return a.max
+	}
+	return value.Null()
+}
+
+// group is one aggregation group under construction.
+type group struct {
+	keyVals []value.Value
+	repRow  schema.Row // representative input row (lenient column resolution)
+	accs    []*accumulator
+}
+
+// aggregate groups in by groupBy (empty = one global group) and computes
+// specs; returns one substitution map and representative row per group.
+func (b *builder) aggregate(in *Result, groupBy []ast.Expr, specs []aggSpec, env *Env, subs map[ast.Expr]*subEval) ([]map[string]value.Value, []schema.Row, error) {
+	ctx := newCtxWith(b, in.Sch, env, nil, subs)
+	groups := map[string]*group{}
+	var order []string // deterministic group order (first appearance)
+
+	for _, row := range in.Rows {
+		rc := ctx.withRow(row)
+		keyVals := make([]value.Value, len(groupBy))
+		keyStr := ""
+		for i, ge := range groupBy {
+			v, err := rc.eval(ge)
+			if err != nil {
+				return nil, nil, err
+			}
+			keyVals[i] = v
+			keyStr += v.HashKey() + "\x00"
+		}
+		g, ok := groups[keyStr]
+		if !ok {
+			g = &group{keyVals: keyVals, repRow: row}
+			g.accs = make([]*accumulator, len(specs))
+			for i, s := range specs {
+				g.accs[i] = newAccumulator(s.call)
+			}
+			groups[keyStr] = g
+			order = append(order, keyStr)
+		}
+		for _, acc := range g.accs {
+			if err := acc.add(ctx, row); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	b.charge(int64(len(in.Rows)))
+
+	// Global aggregation over zero rows still yields one group.
+	if len(groupBy) == 0 && len(groups) == 0 {
+		g := &group{}
+		g.accs = make([]*accumulator, len(specs))
+		for i, s := range specs {
+			g.accs[i] = newAccumulator(s.call)
+		}
+		groups[""] = g
+		order = append(order, "")
+	}
+
+	maps := make([]map[string]value.Value, 0, len(groups))
+	reps := make([]schema.Row, 0, len(groups))
+	for _, k := range order {
+		g := groups[k]
+		m := make(map[string]value.Value, len(groupBy)+len(specs))
+		for i, ge := range groupBy {
+			m[ge.String()] = g.keyVals[i]
+		}
+		for i, s := range specs {
+			m[s.key] = g.accs[i].result()
+		}
+		maps = append(maps, m)
+		reps = append(reps, g.repRow)
+	}
+	return maps, reps, nil
+}
+
+// aggregateRows computes a single aggregate call over a row set (used by
+// correlated scalar subqueries).
+func aggregateRows(b *builder, call *ast.FuncCall, sch *schema.Schema, rows []schema.Row, env *Env) (value.Value, error) {
+	acc := newAccumulator(call)
+	ctx := newCtx(b, sch, env)
+	for _, r := range rows {
+		if err := acc.add(ctx, r); err != nil {
+			return value.Null(), err
+		}
+	}
+	return acc.result(), nil
+}

@@ -1,0 +1,767 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"ironsafe/internal/schema"
+	"ironsafe/internal/sql/ast"
+	"ironsafe/internal/value"
+)
+
+// buildSelect plans and executes one SELECT (possibly a subquery).
+func (b *builder) buildSelect(sel *ast.Select, env *Env) (*Result, error) {
+	input, remaining, err := b.buildFrom(sel, env)
+	if err != nil {
+		return nil, err
+	}
+	if len(remaining) > 0 {
+		input, err = b.applyFilter(input, ast.JoinConjuncts(remaining), env)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	items := expandStars(sel.Items, input.Sch)
+	aliasMap := map[string]ast.Expr{}
+	for _, it := range items {
+		if it.Alias != "" && it.Expr != nil {
+			aliasMap[it.Alias] = it.Expr
+		}
+	}
+	// Positional references (GROUP BY 1, ORDER BY 2) resolve to select
+	// items before alias substitution.
+	positional := func(e ast.Expr) ast.Expr {
+		lit, ok := e.(*ast.Literal)
+		if !ok || lit.Value.Kind() != value.KindInt {
+			return e
+		}
+		n := int(lit.Value.AsInt())
+		if n >= 1 && n <= len(items) && items[n-1].Expr != nil {
+			return items[n-1].Expr
+		}
+		return e
+	}
+	groupBy := make([]ast.Expr, len(sel.GroupBy))
+	for i, g := range sel.GroupBy {
+		groupBy[i] = substituteAliases(positional(g), aliasMap, input.Sch)
+	}
+	having := substituteAliases(sel.Having, aliasMap, input.Sch)
+	orderExprs := make([]ast.Expr, len(sel.OrderBy))
+	for i, o := range sel.OrderBy {
+		orderExprs[i] = substituteAliases(positional(o.Expr), aliasMap, input.Sch)
+	}
+
+	// Collect every expression evaluated after the FROM/WHERE stage.
+	var all []ast.Expr
+	for _, it := range items {
+		all = append(all, it.Expr)
+	}
+	if having != nil {
+		all = append(all, having)
+	}
+	all = append(all, orderExprs...)
+
+	hasAgg := len(groupBy) > 0
+	for _, e := range all {
+		if e != nil && containsAggregate(e) {
+			hasAgg = true
+		}
+	}
+
+	outSch := schema.New()
+	for i, it := range items {
+		outSch.Columns = append(outSch.Columns, schema.Col(displayName(it, i), inferKind(it.Expr, input.Sch, env)))
+	}
+
+	type outRow struct {
+		row  schema.Row
+		keys []value.Value
+	}
+	var out []outRow
+
+	if hasAgg {
+		specs := collectAggregates(all)
+		subs, err := b.prepareSubqueries(append(append([]ast.Expr{}, all...), groupBy...), input.Sch, env)
+		if err != nil {
+			return nil, err
+		}
+		maps, reps, err := b.aggregate(input, groupBy, specs, env, subs)
+		if err != nil {
+			return nil, err
+		}
+		b.trace.addf("hash aggregate (%d keys, %d aggregates): %d -> %d groups", len(groupBy), len(specs), len(input.Rows), len(maps))
+		gctx := newCtxWith(b, input.Sch, env, nil, subs)
+		for gi, m := range maps {
+			ctx := gctx.withRow(reps[gi]).withAgg(m)
+			if having != nil {
+				hv, err := ctx.eval(having)
+				if err != nil {
+					return nil, err
+				}
+				if !truthy(hv) {
+					continue
+				}
+			}
+			row := make(schema.Row, len(items))
+			for i, it := range items {
+				v, err := ctx.eval(it.Expr)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+			keys, err := evalOrderKeys(ctx, orderExprs)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, outRow{row: row, keys: keys})
+		}
+	} else {
+		subs, err := b.prepareSubqueries(all, input.Sch, env)
+		if err != nil {
+			return nil, err
+		}
+		ctx := newCtxWith(b, input.Sch, env, nil, subs)
+		for _, in := range input.Rows {
+			rc := ctx.withRow(in)
+			row := make(schema.Row, len(items))
+			for i, it := range items {
+				v, err := rc.eval(it.Expr)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+			keys, err := evalOrderKeys(rc, orderExprs)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, outRow{row: row, keys: keys})
+		}
+		b.charge(int64(len(input.Rows)))
+	}
+
+	if sel.Distinct {
+		seen := map[string]bool{}
+		dedup := out[:0]
+		for _, r := range out {
+			k := ""
+			for _, v := range r.row {
+				k += v.HashKey() + "\x00"
+			}
+			if !seen[k] {
+				seen[k] = true
+				dedup = append(dedup, r)
+			}
+		}
+		out = dedup
+	}
+
+	if len(sel.OrderBy) > 0 {
+		desc := make([]bool, len(sel.OrderBy))
+		for i, o := range sel.OrderBy {
+			desc[i] = o.Desc
+		}
+		sort.SliceStable(out, func(i, j int) bool {
+			for k := range desc {
+				c := value.MustCompare(out[i].keys[k], out[j].keys[k])
+				if c == 0 {
+					continue
+				}
+				if desc[k] {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		b.chargeWork(int64(len(out)))
+	}
+
+	if len(sel.OrderBy) > 0 {
+		b.trace.addf("sort %d rows by %d keys", len(out), len(sel.OrderBy))
+	}
+	if sel.Limit >= 0 && len(out) > sel.Limit {
+		out = out[:sel.Limit]
+		b.trace.addf("limit %d", sel.Limit)
+	}
+
+	res := &Result{Sch: outSch, Rows: make([]schema.Row, len(out))}
+	for i, r := range out {
+		res.Rows[i] = r.row
+	}
+	return res, nil
+}
+
+func evalOrderKeys(ctx *evalCtx, orderExprs []ast.Expr) ([]value.Value, error) {
+	if len(orderExprs) == 0 {
+		return nil, nil
+	}
+	keys := make([]value.Value, len(orderExprs))
+	for i, e := range orderExprs {
+		v, err := ctx.eval(e)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = v
+	}
+	return keys, nil
+}
+
+// expandStars replaces SELECT * items with one item per input column.
+func expandStars(items []ast.SelectItem, sch *schema.Schema) []ast.SelectItem {
+	var out []ast.SelectItem
+	for _, it := range items {
+		if !it.Star {
+			out = append(out, it)
+			continue
+		}
+		for _, c := range sch.Columns {
+			out = append(out, ast.SelectItem{
+				Expr:  &ast.ColumnRef{Name: c.Name},
+				Alias: c.Name,
+			})
+		}
+	}
+	return out
+}
+
+// substituteAliases replaces unqualified column references that match a
+// select-item alias (and do not resolve in the input schema) with the
+// aliased expression; SQL allows this in GROUP BY and ORDER BY.
+func substituteAliases(e ast.Expr, aliases map[string]ast.Expr, sch *schema.Schema) ast.Expr {
+	if e == nil || len(aliases) == 0 {
+		return e
+	}
+	switch x := e.(type) {
+	case *ast.ColumnRef:
+		if x.Qualifier == "" {
+			if sub, ok := aliases[x.Name]; ok && sch.IndexOf(x.Name) < 0 {
+				return sub
+			}
+		}
+		return x
+	case *ast.BinaryExpr:
+		return &ast.BinaryExpr{Op: x.Op,
+			Left:  substituteAliases(x.Left, aliases, sch),
+			Right: substituteAliases(x.Right, aliases, sch)}
+	case *ast.UnaryExpr:
+		return &ast.UnaryExpr{Op: x.Op, Expr: substituteAliases(x.Expr, aliases, sch)}
+	case *ast.IsNull:
+		return &ast.IsNull{Expr: substituteAliases(x.Expr, aliases, sch), Not: x.Not}
+	case *ast.Between:
+		return &ast.Between{Expr: substituteAliases(x.Expr, aliases, sch),
+			Lo: substituteAliases(x.Lo, aliases, sch), Hi: substituteAliases(x.Hi, aliases, sch), Not: x.Not}
+	case *ast.Like:
+		return &ast.Like{Expr: substituteAliases(x.Expr, aliases, sch),
+			Pattern: substituteAliases(x.Pattern, aliases, sch), Not: x.Not}
+	case *ast.InList:
+		items := make([]ast.Expr, len(x.Items))
+		for i, it := range x.Items {
+			items[i] = substituteAliases(it, aliases, sch)
+		}
+		return &ast.InList{Expr: substituteAliases(x.Expr, aliases, sch), Items: items, Not: x.Not}
+	case *ast.FuncCall:
+		args := make([]ast.Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = substituteAliases(a, aliases, sch)
+		}
+		return &ast.FuncCall{Name: x.Name, Star: x.Star, Distinct: x.Distinct, Args: args}
+	case *ast.CaseExpr:
+		whens := make([]ast.WhenClause, len(x.Whens))
+		for i, w := range x.Whens {
+			whens[i] = ast.WhenClause{
+				Cond:   substituteAliases(w.Cond, aliases, sch),
+				Result: substituteAliases(w.Result, aliases, sch),
+			}
+		}
+		return &ast.CaseExpr{Whens: whens, Else: substituteAliases(x.Else, aliases, sch)}
+	case *ast.Extract:
+		return &ast.Extract{Field: x.Field, Expr: substituteAliases(x.Expr, aliases, sch)}
+	case *ast.Substring:
+		var fo ast.Expr
+		if x.For != nil {
+			fo = substituteAliases(x.For, aliases, sch)
+		}
+		return &ast.Substring{Expr: substituteAliases(x.Expr, aliases, sch),
+			From: substituteAliases(x.From, aliases, sch), For: fo}
+	default:
+		// Literals, intervals, and subquery nodes pass through unchanged.
+		return e
+	}
+}
+
+// buildFrom materializes the FROM clause, consuming WHERE conjuncts usable
+// for pushdown and join keys; it returns the joined input and the leftover
+// conjuncts.
+func (b *builder) buildFrom(sel *ast.Select, env *Env) (*Result, []ast.Expr, error) {
+	conjs := factorCommonDisjuncts(ast.SplitConjuncts(sel.Where))
+	if len(sel.From) == 0 {
+		return &Result{Sch: schema.New(), Rows: []schema.Row{{}}}, conjs, nil
+	}
+
+	rels := make([]*Result, len(sel.From))
+	for i, ref := range sel.From {
+		r, err := b.buildRef(ref, env)
+		if err != nil {
+			return nil, nil, err
+		}
+		rels[i] = r
+	}
+
+	used := make([]bool, len(conjs))
+	complex := make([]bool, len(conjs))
+	for i, c := range conjs {
+		complex[i] = containsSubquery(c) || containsAggregate(c)
+	}
+
+	// Single-table pushdown (skipped for right sides of outer joins, where
+	// WHERE semantics differ from ON semantics).
+	for i, rel := range rels {
+		if j := sel.From[i].Join; j != nil && j.Kind == ast.JoinLeftOuter {
+			continue
+		}
+		var push []ast.Expr
+		for j, c := range conjs {
+			if used[j] || complex[j] {
+				continue
+			}
+			if refsIn(c, rel.Sch) && resolvableIn(c, rel.Sch, env, true) {
+				push = append(push, c)
+				used[j] = true
+			}
+		}
+		if len(push) > 0 {
+			filtered, err := b.applyFilter(rel, ast.JoinConjuncts(push), env)
+			if err != nil {
+				return nil, nil, err
+			}
+			rels[i] = filtered
+		}
+	}
+
+	explicit := false
+	for _, ref := range sel.From[1:] {
+		if ref.Join != nil {
+			explicit = true
+		}
+	}
+
+	var cur *Result
+	var err error
+	if explicit {
+		cur, err = b.assembleSequential(sel.From, rels, conjs, used, complex, env)
+	} else {
+		cur, err = b.assembleGreedy(rels, conjs, used, complex, env)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var remaining []ast.Expr
+	for j, c := range conjs {
+		if !used[j] {
+			remaining = append(remaining, c)
+		}
+	}
+	return cur, remaining, nil
+}
+
+// factorCommonDisjuncts hoists conjuncts present in every branch of an OR
+// (matched by text) as additional top-level conjuncts. TPC-H q19 hides its
+// join predicate `p_partkey = l_partkey` inside each OR branch; without
+// factoring, the join degenerates into a cross product. The original OR is
+// kept — AND(common, OR(...)) is equivalent when common appears in every
+// branch.
+func factorCommonDisjuncts(conjs []ast.Expr) []ast.Expr {
+	out := conjs
+	seen := map[string]bool{}
+	for _, c := range conjs {
+		seen[c.String()] = true
+	}
+	for _, c := range conjs {
+		disjuncts := ast.SplitDisjuncts(c)
+		if len(disjuncts) < 2 {
+			continue
+		}
+		common := map[string]ast.Expr{}
+		for _, cj := range ast.SplitConjuncts(disjuncts[0]) {
+			common[cj.String()] = cj
+		}
+		for _, d := range disjuncts[1:] {
+			present := map[string]bool{}
+			for _, cj := range ast.SplitConjuncts(d) {
+				present[cj.String()] = true
+			}
+			for k := range common {
+				if !present[k] {
+					delete(common, k)
+				}
+			}
+		}
+		for k, cj := range common {
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, cj)
+			}
+		}
+	}
+	return out
+}
+
+// assembleSequential joins refs strictly left to right (required when
+// explicit JOIN clauses are present).
+func (b *builder) assembleSequential(refs []ast.TableRef, rels []*Result, conjs []ast.Expr, used, complex []bool, env *Env) (*Result, error) {
+	cur := rels[0]
+	for i := 1; i < len(refs); i++ {
+		right := rels[i]
+		if j := refs[i].Join; j != nil {
+			onConjs := ast.SplitConjuncts(j.On)
+			var keysL, keysR, residual []ast.Expr
+			var rightOnly []ast.Expr
+			for _, c := range onConjs {
+				if kl, kr, ok := splitEquiKey(c, cur.Sch, right.Sch, env); ok {
+					keysL = append(keysL, kl)
+					keysR = append(keysR, kr)
+					continue
+				}
+				if refsIn(c, right.Sch) && resolvableIn(c, right.Sch, env, true) && !refsIn(c, cur.Sch) {
+					rightOnly = append(rightOnly, c)
+					continue
+				}
+				residual = append(residual, c)
+			}
+			if len(rightOnly) > 0 {
+				var err error
+				right, err = b.applyFilter(right, ast.JoinConjuncts(rightOnly), env)
+				if err != nil {
+					return nil, err
+				}
+			}
+			var err error
+			if j.Kind == ast.JoinLeftOuter {
+				cur, err = b.hashLeftJoin(cur, right, keysL, keysR, ast.JoinConjuncts(residual), env)
+			} else {
+				cur, err = b.hashInnerJoin(cur, right, keysL, keysR, env)
+				if err == nil && len(residual) > 0 {
+					cur, err = b.applyFilter(cur, ast.JoinConjuncts(residual), env)
+				}
+			}
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			var err error
+			cur, err = b.joinWithWhere(cur, right, conjs, used, complex, env)
+			if err != nil {
+				return nil, err
+			}
+		}
+		// Apply any WHERE conjuncts that just became resolvable.
+		var post []ast.Expr
+		for j, c := range conjs {
+			if used[j] || complex[j] {
+				continue
+			}
+			if resolvableIn(c, cur.Sch, env, true) {
+				post = append(post, c)
+				used[j] = true
+			}
+		}
+		if len(post) > 0 {
+			var err error
+			cur, err = b.applyFilter(cur, ast.JoinConjuncts(post), env)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return cur, nil
+}
+
+// assembleGreedy orders comma-joined relations by equi-join connectivity to
+// avoid cross products (TPC-H lists tables in arbitrary order).
+func (b *builder) assembleGreedy(rels []*Result, conjs []ast.Expr, used, complex []bool, env *Env) (*Result, error) {
+	remaining := map[int]bool{}
+	for i := 1; i < len(rels); i++ {
+		remaining[i] = true
+	}
+	cur := rels[0]
+	for len(remaining) > 0 {
+		pick := -1
+		for i := range remaining {
+			if hasEquiLink(conjs, used, complex, cur.Sch, rels[i].Sch, env) {
+				if pick < 0 || i < pick {
+					pick = i
+				}
+			}
+		}
+		if pick < 0 {
+			// No connecting predicate: cross join the smallest relation.
+			for i := range remaining {
+				if pick < 0 || len(rels[i].Rows) < len(rels[pick].Rows) {
+					pick = i
+				}
+			}
+		}
+		var err error
+		cur, err = b.joinWithWhere(cur, rels[pick], conjs, used, complex, env)
+		if err != nil {
+			return nil, err
+		}
+		delete(remaining, pick)
+	}
+	return cur, nil
+}
+
+// joinWithWhere joins cur with right using applicable WHERE equi-conjuncts,
+// then applies newly-resolvable WHERE conjuncts.
+func (b *builder) joinWithWhere(cur, right *Result, conjs []ast.Expr, used, complex []bool, env *Env) (*Result, error) {
+	var keysL, keysR []ast.Expr
+	for j, c := range conjs {
+		if used[j] || complex[j] {
+			continue
+		}
+		if kl, kr, ok := splitEquiKey(c, cur.Sch, right.Sch, env); ok {
+			keysL = append(keysL, kl)
+			keysR = append(keysR, kr)
+			used[j] = true
+		}
+	}
+	out, err := b.hashInnerJoin(cur, right, keysL, keysR, env)
+	if err != nil {
+		return nil, err
+	}
+	var post []ast.Expr
+	for j, c := range conjs {
+		if used[j] || complex[j] {
+			continue
+		}
+		if resolvableIn(c, out.Sch, env, true) {
+			post = append(post, c)
+			used[j] = true
+		}
+	}
+	if len(post) > 0 {
+		return b.applyFilter(out, ast.JoinConjuncts(post), env)
+	}
+	return out, nil
+}
+
+// hasEquiLink reports whether an unused equality conjunct connects the two
+// schemas.
+func hasEquiLink(conjs []ast.Expr, used, complex []bool, left, right *schema.Schema, env *Env) bool {
+	for j, c := range conjs {
+		if used[j] || complex[j] {
+			continue
+		}
+		if _, _, ok := splitEquiKey(c, left, right, env); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// splitEquiKey decomposes `a = b` where one side belongs to left and the
+// other to right; returns (leftKey, rightKey, true) on success.
+func splitEquiKey(c ast.Expr, left, right *schema.Schema, env *Env) (ast.Expr, ast.Expr, bool) {
+	eq, ok := c.(*ast.BinaryExpr)
+	if !ok || eq.Op != ast.OpEq {
+		return nil, nil, false
+	}
+	lInLeft := refsIn(eq.Left, left) && resolvableIn(eq.Left, left, env, true)
+	lInRight := refsIn(eq.Left, right) && resolvableIn(eq.Left, right, env, true)
+	rInLeft := refsIn(eq.Right, left) && resolvableIn(eq.Right, left, env, true)
+	rInRight := refsIn(eq.Right, right) && resolvableIn(eq.Right, right, env, true)
+	if lInLeft && rInRight && !lInRight && !rInLeft {
+		return eq.Left, eq.Right, true
+	}
+	if rInLeft && lInRight && !rInRight && !lInLeft {
+		return eq.Right, eq.Left, true
+	}
+	return nil, nil, false
+}
+
+// buildRef materializes one FROM entry with a qualified schema.
+func (b *builder) buildRef(ref ast.TableRef, env *Env) (*Result, error) {
+	if ref.Subquery != nil {
+		sub, err := b.buildSelect(ref.Subquery, env)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Sch: sub.Sch.Qualify(ref.Name()), Rows: sub.Rows}, nil
+	}
+	rel, err := b.cat.Relation(ref.Table)
+	if err != nil {
+		return nil, err
+	}
+	var rows []schema.Row
+	if err := rel.Scan(func(r schema.Row) error {
+		rows = append(rows, r)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	b.charge(int64(len(rows)))
+	b.trace.addf("scan %s as %s -> %d rows", ref.Table, ref.Name(), len(rows))
+	return &Result{Sch: rel.Schema().Qualify(ref.Name()), Rows: rows}, nil
+}
+
+// applyFilter keeps rows where pred is true.
+func (b *builder) applyFilter(in *Result, pred ast.Expr, env *Env) (*Result, error) {
+	subs, err := b.prepareSubqueries([]ast.Expr{pred}, in.Sch, env)
+	if err != nil {
+		return nil, err
+	}
+	ctx := newCtxWith(b, in.Sch, env, nil, subs)
+	out := &Result{Sch: in.Sch}
+	for _, row := range in.Rows {
+		v, err := ctx.withRow(row).eval(pred)
+		if err != nil {
+			return nil, err
+		}
+		if truthy(v) {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	b.charge(int64(len(in.Rows)))
+	b.trace.addf("filter %s: %d -> %d rows", pred, len(in.Rows), len(out.Rows))
+	return out, nil
+}
+
+// hashInnerJoin equi-joins two results; with no keys it degrades to a cross
+// product.
+func (b *builder) hashInnerJoin(left, right *Result, keysL, keysR []ast.Expr, env *Env) (*Result, error) {
+	outSch := left.Sch.Concat(right.Sch)
+	out := &Result{Sch: outSch}
+	if len(keysL) == 0 {
+		for _, lr := range left.Rows {
+			for _, rr := range right.Rows {
+				out.Rows = append(out.Rows, concatRows(lr, rr))
+			}
+		}
+		b.charge(int64(len(left.Rows)*len(right.Rows)) + 1)
+		b.trace.addf("cross join: %d x %d -> %d rows", len(left.Rows), len(right.Rows), len(out.Rows))
+		return out, nil
+	}
+	rctx := newCtx(b, right.Sch, env)
+	table := make(map[string][]schema.Row, len(right.Rows))
+	for _, rr := range right.Rows {
+		key, null, err := evalKey(rctx.withRow(rr), keysR)
+		if err != nil {
+			return nil, err
+		}
+		if null {
+			continue
+		}
+		table[key] = append(table[key], rr)
+	}
+	lctx := newCtx(b, left.Sch, env)
+	for _, lr := range left.Rows {
+		key, null, err := evalKey(lctx.withRow(lr), keysL)
+		if err != nil {
+			return nil, err
+		}
+		if null {
+			continue
+		}
+		for _, rr := range table[key] {
+			out.Rows = append(out.Rows, concatRows(lr, rr))
+		}
+	}
+	b.charge(int64(len(left.Rows) + len(right.Rows) + len(out.Rows)))
+	b.trace.addf("hash join on [%s]: %d x %d -> %d rows", exprsText(keysL), len(left.Rows), len(right.Rows), len(out.Rows))
+	return out, nil
+}
+
+// hashLeftJoin performs LEFT OUTER JOIN with ON keys plus a residual ON
+// predicate; unmatched left rows are null-extended.
+func (b *builder) hashLeftJoin(left, right *Result, keysL, keysR []ast.Expr, residual ast.Expr, env *Env) (*Result, error) {
+	outSch := left.Sch.Concat(right.Sch)
+	out := &Result{Sch: outSch}
+	rctx := newCtx(b, right.Sch, env)
+	table := make(map[string][]schema.Row, len(right.Rows))
+	for _, rr := range right.Rows {
+		key, null, err := evalKey(rctx.withRow(rr), keysR)
+		if err != nil {
+			return nil, err
+		}
+		if null {
+			continue
+		}
+		table[key] = append(table[key], rr)
+	}
+	var subs map[ast.Expr]*subEval
+	if residual != nil {
+		var err error
+		subs, err = b.prepareSubqueries([]ast.Expr{residual}, outSch, env)
+		if err != nil {
+			return nil, err
+		}
+	}
+	octx := newCtxWith(b, outSch, env, nil, subs)
+	lctx2 := newCtx(b, left.Sch, env)
+	nulls := make(schema.Row, right.Sch.Len())
+	for i := range nulls {
+		nulls[i] = value.Null()
+	}
+	for _, lr := range left.Rows {
+		matched := false
+		var candidates []schema.Row
+		if len(keysL) == 0 {
+			candidates = right.Rows
+		} else {
+			key, null, err := evalKey(lctx2.withRow(lr), keysL)
+			if err != nil {
+				return nil, err
+			}
+			if !null {
+				candidates = table[key]
+			}
+		}
+		for _, rr := range candidates {
+			joined := concatRows(lr, rr)
+			if residual != nil {
+				v, err := octx.withRow(joined).eval(residual)
+				if err != nil {
+					return nil, err
+				}
+				if !truthy(v) {
+					continue
+				}
+			}
+			matched = true
+			out.Rows = append(out.Rows, joined)
+		}
+		if !matched {
+			out.Rows = append(out.Rows, concatRows(lr, nulls))
+		}
+	}
+	b.charge(int64(len(left.Rows) + len(right.Rows) + len(out.Rows)))
+	b.trace.addf("left outer join on [%s]: %d x %d -> %d rows", exprsText(keysL), len(left.Rows), len(right.Rows), len(out.Rows))
+	return out, nil
+}
+
+func concatRows(a, b schema.Row) schema.Row {
+	out := make(schema.Row, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	return out
+}
+
+// Format renders a result as aligned text (debug/CLI helper).
+func (r *Result) Format() string {
+	out := ""
+	for _, c := range r.Sch.Columns {
+		out += fmt.Sprintf("%s\t", c.Name)
+	}
+	out += "\n"
+	for _, row := range r.Rows {
+		for _, v := range row {
+			out += v.String() + "\t"
+		}
+		out += "\n"
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+// Package exec plans and executes SELECT statements against a catalog of
+// relations. It provides the Volcano-style (materializing) operator set used
+// by both the host engine and the storage engine: scans, filters, hash and
+// nested-loop joins (inner and left outer), hash aggregation with the SQL
+// aggregate functions, sorting, limiting, and decorrelated subquery
+// evaluation. Work is charged to a simtime.Meter so split executions can be
+// priced by the cost model.
+package exec
+
+import (
+	"fmt"
+
+	"ironsafe/internal/schema"
+	"ironsafe/internal/simtime"
+	"ironsafe/internal/sql/ast"
+)
+
+// Relation is a scannable source of rows.
+type Relation interface {
+	Schema() *schema.Schema
+	Scan(fn func(schema.Row) error) error
+}
+
+// Catalog resolves base-table names to relations.
+type Catalog interface {
+	Relation(name string) (Relation, error)
+}
+
+// Result is a fully materialized intermediate or final result.
+type Result struct {
+	Sch  *schema.Schema
+	Rows []schema.Row
+}
+
+// Schema implements Relation.
+func (r *Result) Schema() *schema.Schema { return r.Sch }
+
+// Scan implements Relation.
+func (r *Result) Scan(fn func(schema.Row) error) error {
+	for _, row := range r.Rows {
+		if err := fn(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MemRelation is an in-memory named relation (host-side temp tables).
+type MemRelation struct {
+	Sch  *schema.Schema
+	Rows []schema.Row
+}
+
+// Schema implements Relation.
+func (m *MemRelation) Schema() *schema.Schema { return m.Sch }
+
+// Scan implements Relation.
+func (m *MemRelation) Scan(fn func(schema.Row) error) error {
+	for _, row := range m.Rows {
+		if err := fn(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run plans and executes sel against cat, charging work to meter (which may
+// be nil).
+func Run(sel *ast.Select, cat Catalog, meter *simtime.Meter) (*Result, error) {
+	b := &builder{cat: cat, meter: meter}
+	return b.buildSelect(sel, nil)
+}
+
+// RunWithEnv executes sel with an outer binding environment (used for
+// fallback correlated-subquery evaluation).
+func RunWithEnv(sel *ast.Select, cat Catalog, meter *simtime.Meter, env *Env) (*Result, error) {
+	b := &builder{cat: cat, meter: meter}
+	return b.buildSelect(sel, env)
+}
+
+// Env is a chain of outer-row bindings for correlated subqueries.
+type Env struct {
+	Parent *Env
+	Sch    *schema.Schema
+	Row    schema.Row
+}
+
+// Lookup resolves a (possibly qualified) column name through the chain.
+func (e *Env) Lookup(name string) (int, *Env) {
+	for cur := e; cur != nil; cur = cur.Parent {
+		if cur.Sch == nil {
+			continue
+		}
+		if idx := cur.Sch.IndexOf(name); idx >= 0 {
+			return idx, cur
+		}
+	}
+	return -1, nil
+}
+
+// Resolvable reports whether name resolves anywhere in the chain.
+func (e *Env) Resolvable(name string) bool {
+	idx, _ := e.Lookup(name)
+	return idx >= 0
+}
+
+type builder struct {
+	cat   Catalog
+	meter *simtime.Meter
+	trace *Trace
+}
+
+func (b *builder) charge(n int64) {
+	if b.meter != nil && n > 0 {
+		b.meter.TupleWork.Add(n)
+		b.meter.TuplesProcessed.Add(n)
+	}
+}
+
+// chargeWork adds weighted work units without counting tuples again.
+func (b *builder) chargeWork(n int64) {
+	if b.meter != nil && n > 0 {
+		b.meter.TupleWork.Add(n)
+	}
+}
+
+// errColumn builds a consistent unresolved-column error.
+func errColumn(name string) error {
+	return fmt.Errorf("exec: unknown column %q", name)
+}

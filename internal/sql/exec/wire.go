@@ -1,0 +1,58 @@
+package exec
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+
+	"ironsafe/internal/schema"
+	"ironsafe/internal/value"
+)
+
+// Wire codec for shipping results between storage and host: a JSON schema
+// header (length-prefixed) followed by the binary row batch.
+
+type wireColumn struct {
+	Name string     `json:"name"`
+	Kind value.Kind `json:"kind"`
+}
+
+// EncodeResult serializes a result for transmission.
+func EncodeResult(r *Result) ([]byte, error) {
+	cols := make([]wireColumn, r.Sch.Len())
+	for i, c := range r.Sch.Columns {
+		cols[i] = wireColumn{Name: c.Name, Kind: c.Kind}
+	}
+	hdr, err := json.Marshal(cols)
+	if err != nil {
+		return nil, fmt.Errorf("exec: encoding result header: %w", err)
+	}
+	out := binary.LittleEndian.AppendUint32(nil, uint32(len(hdr)))
+	out = append(out, hdr...)
+	out = append(out, schema.EncodeRows(r.Rows)...)
+	return out, nil
+}
+
+// DecodeResult reverses EncodeResult.
+func DecodeResult(buf []byte) (*Result, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("exec: short result")
+	}
+	hl := binary.LittleEndian.Uint32(buf)
+	if uint64(4+hl) > uint64(len(buf)) {
+		return nil, fmt.Errorf("exec: truncated result header")
+	}
+	var cols []wireColumn
+	if err := json.Unmarshal(buf[4:4+hl], &cols); err != nil {
+		return nil, fmt.Errorf("exec: decoding result header: %w", err)
+	}
+	sch := schema.New()
+	for _, c := range cols {
+		sch.Columns = append(sch.Columns, schema.Col(c.Name, c.Kind))
+	}
+	rows, err := schema.DecodeRows(buf[4+hl:])
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Sch: sch, Rows: rows}, nil
+}

@@ -1,0 +1,21 @@
+package lexer
+
+import "testing"
+
+// FuzzLex checks the lexer is total and always terminates with EOF.
+func FuzzLex(f *testing.F) {
+	for _, s := range []string{
+		"SELECT * FROM t", "'str''esc'", "1.5 .5 42", "a<>b<=c", "-- comment\nx", "日本語",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		toks, err := Lex(input)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].Kind != EOF {
+			t.Errorf("token stream for %q does not end in EOF", input)
+		}
+	})
+}

@@ -1,0 +1,118 @@
+package lexer
+
+import "testing"
+
+func kinds(t *testing.T, sql string) []Token {
+	t.Helper()
+	toks, err := Lex(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return toks
+}
+
+func TestBasicTokens(t *testing.T) {
+	toks := kinds(t, "SELECT a, b FROM t WHERE x >= 1.5")
+	want := []struct {
+		kind TokenKind
+		text string
+	}{
+		{Keyword, "SELECT"}, {Ident, "a"}, {Symbol, ","}, {Ident, "b"},
+		{Keyword, "FROM"}, {Ident, "t"}, {Keyword, "WHERE"}, {Ident, "x"},
+		{Symbol, ">="}, {Number, "1.5"}, {EOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Errorf("token %d = (%d, %q), want (%d, %q)", i, toks[i].Kind, toks[i].Text, w.kind, w.text)
+		}
+	}
+}
+
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	toks := kinds(t, "select Select SELECT")
+	for i := 0; i < 3; i++ {
+		if toks[i].Kind != Keyword || toks[i].Text != "SELECT" {
+			t.Errorf("token %d = %v", i, toks[i])
+		}
+	}
+}
+
+func TestIdentifiersKeepCase(t *testing.T) {
+	toks := kinds(t, "L_OrderKey")
+	if toks[0].Kind != Ident || toks[0].Text != "L_OrderKey" {
+		t.Errorf("ident = %v", toks[0])
+	}
+}
+
+func TestStrings(t *testing.T) {
+	toks := kinds(t, "'hello world' 'it''s'")
+	if toks[0].Kind != String || toks[0].Text != "hello world" {
+		t.Errorf("string 0 = %v", toks[0])
+	}
+	if toks[1].Kind != String || toks[1].Text != "it's" {
+		t.Errorf("escaped quote = %v", toks[1])
+	}
+	if _, err := Lex("'unterminated"); err == nil {
+		t.Error("unterminated string accepted")
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	toks := kinds(t, "42 3.14 .5 0.05")
+	want := []string{"42", "3.14", ".5", "0.05"}
+	for i, w := range want {
+		if toks[i].Kind != Number || toks[i].Text != w {
+			t.Errorf("number %d = %v, want %s", i, toks[i], w)
+		}
+	}
+}
+
+func TestMultiByteSymbols(t *testing.T) {
+	toks := kinds(t, "a <> b <= c >= d != e || f")
+	syms := []string{"<>", "<=", ">=", "!=", "||"}
+	j := 0
+	for _, tok := range toks {
+		if tok.Kind == Symbol {
+			if tok.Text != syms[j] {
+				t.Errorf("symbol %d = %q, want %q", j, tok.Text, syms[j])
+			}
+			j++
+		}
+	}
+	if j != len(syms) {
+		t.Errorf("found %d symbols", j)
+	}
+}
+
+func TestLineComments(t *testing.T) {
+	toks := kinds(t, "SELECT -- this is a comment\n 1")
+	if len(toks) != 3 || toks[1].Kind != Number {
+		t.Errorf("comment not skipped: %v", toks)
+	}
+}
+
+func TestUnexpectedCharacter(t *testing.T) {
+	if _, err := Lex("SELECT @"); err == nil {
+		t.Error("bad character accepted")
+	}
+}
+
+func TestDotAsQualifier(t *testing.T) {
+	toks := kinds(t, "t.col")
+	if toks[0].Kind != Ident || toks[1].Text != "." || toks[2].Kind != Ident {
+		t.Errorf("qualified ref = %v", toks[:3])
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	toks := kinds(t, "'s' x")
+	if toks[0].String() != "'s'" {
+		t.Errorf("string token String() = %q", toks[0].String())
+	}
+	if toks[2].String() != "<eof>" {
+		t.Errorf("eof String() = %q", toks[2].String())
+	}
+}

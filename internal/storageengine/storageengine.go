@@ -1,0 +1,318 @@
+// Package storageengine implements IronSafe's storage system node: a
+// TrustZone-booted server whose normal world runs the CSA runtime and the
+// on-disk database engine over the secure storage framework, executing
+// offloaded query fragments near the data and shipping filtered rows to the
+// host.
+package storageengine
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"ironsafe/internal/engine"
+	"ironsafe/internal/pager"
+	"ironsafe/internal/securestore"
+	"ironsafe/internal/simtime"
+	"ironsafe/internal/sql/exec"
+	"ironsafe/internal/tee/trustzone"
+	"ironsafe/internal/transport"
+)
+
+// Config configures a storage server.
+type Config struct {
+	// DeviceID names this node.
+	DeviceID string
+	// Vendor signs the firmware and certifies the device (its ROTPK is the
+	// monitor's root of trust for this node).
+	Vendor *trustzone.Vendor
+	// Location and FWVersion are the attributes execution policies check.
+	Location  string
+	FWVersion string
+	// NormalWorldImage is the measured software stack; the monitor must
+	// whitelist its measurement.
+	NormalWorldImage []byte
+	// Secure selects the secure store (scs/sos); false gives the vanilla
+	// pager (vcs/hons).
+	Secure bool
+	// StoreOptions tunes the secure store.
+	StoreOptions securestore.Options
+	// MemoryBudget bounds memory available to one offloaded query in
+	// bytes; materialization beyond it spills, charging extra page IO
+	// (Fig 11). Zero means unlimited.
+	MemoryBudget int64
+	// Cores is the CPU count exposed for offloaded work (Fig 10); it is
+	// recorded in the meter pricing, zero means all.
+	Cores int
+	// Meter receives the node's work counters. Required.
+	Meter *simtime.Meter
+	// CacheSize is the plain pager's page cache capacity.
+	CacheSize int
+}
+
+// Server is one storage system node.
+type Server struct {
+	cfg    Config
+	device *trustzone.Device
+	secure *trustzone.SecureWorld
+	nw     *trustzone.NormalWorld
+	medium *pager.MemDevice
+	store  pager.PageStore
+	db     *engine.DB
+
+	mu       sync.Mutex
+	booted   bool
+	sessions map[string][]byte // session id -> key (from the monitor)
+}
+
+// New manufactures, boots, and initializes a storage server. Trusted boot
+// runs with vendor-signed ATF and OP-TEE images; the normal-world image is
+// measured into the boot chain.
+func New(cfg Config) (*Server, error) {
+	if cfg.Meter == nil {
+		return nil, errors.New("storageengine: meter required")
+	}
+	if cfg.Vendor == nil {
+		return nil, errors.New("storageengine: vendor required")
+	}
+	if len(cfg.NormalWorldImage) == 0 {
+		cfg.NormalWorldImage = []byte("ironsafe storage stack " + cfg.FWVersion)
+	}
+	device, err := trustzone.NewDevice(cfg.DeviceID, cfg.Vendor)
+	if err != nil {
+		return nil, err
+	}
+	atf := cfg.Vendor.SignImage("atf", "2.4", []byte("arm trusted firmware"))
+	tos := cfg.Vendor.SignImage("optee", "3.4", []byte("op-tee trusted os"))
+	nwImg := trustzone.FirmwareImage{Name: "normal-world", Version: cfg.FWVersion, Code: cfg.NormalWorldImage}
+	sw, nw, err := device.Boot(atf, tos, nwImg, cfg.Meter)
+	if err != nil {
+		return nil, fmt.Errorf("storageengine: trusted boot: %w", err)
+	}
+
+	s := &Server{
+		cfg:      cfg,
+		device:   device,
+		secure:   sw,
+		nw:       nw,
+		medium:   pager.NewMemDevice(),
+		booted:   true,
+		sessions: map[string][]byte{},
+	}
+	if cfg.Secure {
+		store, err := securestore.Open(s.medium, nw, cfg.Meter, cfg.StoreOptions)
+		if err != nil {
+			return nil, err
+		}
+		s.store = store
+	} else {
+		cache := cfg.CacheSize
+		if cache == 0 {
+			cache = 256
+		}
+		s.store = pager.NewPager(s.medium, cfg.Meter, cache)
+	}
+	db, err := engine.Open(s.store, cfg.Meter)
+	if err != nil {
+		return nil, err
+	}
+	s.db = db
+	return s, nil
+}
+
+// Attest invokes the attestation TA (monitor.StorageAttester).
+func (s *Server) Attest(challenge []byte) (*trustzone.AttestationReport, error) {
+	return s.nw.Attest(challenge)
+}
+
+// Info returns the node's deployment attributes.
+func (s *Server) Info() (id, location, fw string) {
+	return s.cfg.DeviceID, s.cfg.Location, s.cfg.FWVersion
+}
+
+// DB exposes the engine for data loading and the sos configuration.
+func (s *Server) DB() *engine.DB { return s.db }
+
+// Medium exposes the raw untrusted medium (tests and attack simulations).
+func (s *Server) Medium() *pager.MemDevice { return s.medium }
+
+// NormalWorldMeasurement is the boot-time measurement the monitor whitelists.
+func (s *Server) NormalWorldMeasurement() trustzone.Measurement {
+	return s.secure.NormalWorldMeasurement()
+}
+
+// InstallSessionKey records a monitor-distributed session key so the host
+// can open a bound transport channel.
+func (s *Server) InstallSessionKey(sessionID string, key []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sessions[sessionID] = append([]byte(nil), key...)
+}
+
+// RevokeSessionKey implements session cleanup on the storage side.
+func (s *Server) RevokeSessionKey(sessionID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.sessions, sessionID)
+}
+
+// sessionKey fetches an installed key.
+func (s *Server) sessionKey(sessionID string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k, ok := s.sessions[sessionID]
+	return k, ok
+}
+
+// ExecOffload runs one offloaded query fragment on the local engine,
+// applying the memory-budget spill model.
+func (s *Server) ExecOffload(sql string) (*exec.Result, error) {
+	res, err := s.db.Execute(sql)
+	if err != nil {
+		return nil, fmt.Errorf("storageengine: offload: %w", err)
+	}
+	s.chargeSpill(res)
+	return res, nil
+}
+
+// chargeSpill models constrained memory (Fig 11): when an offloaded query's
+// materialized output exceeds the budget, the excess spills through the
+// (secure) medium in multi-pass fashion — each spilled page is encrypted,
+// written, read back, verified, and decrypted, and the merge makes several
+// passes, exactly the work a memory-starved external sort/materialization
+// performs.
+func (s *Server) chargeSpill(res *exec.Result) {
+	if s.cfg.MemoryBudget <= 0 {
+		return
+	}
+	var bytes int64
+	for _, r := range res.Rows {
+		bytes += int64(len(r) * 16) // coarse in-memory row estimate
+	}
+	if bytes <= s.cfg.MemoryBudget {
+		return
+	}
+	const spillPasses = 3
+	spillPages := (bytes - s.cfg.MemoryBudget) / pager.PageSize * spillPasses
+	s.cfg.Meter.PagesWritten.Add(spillPages)
+	s.cfg.Meter.PagesRead.Add(spillPages)
+	if s.cfg.Secure {
+		s.cfg.Meter.PagesEncrypted.Add(spillPages)
+		s.cfg.Meter.PagesDecrypted.Add(spillPages)
+		s.cfg.Meter.MerkleHashes.Add(spillPages * 8)
+	}
+}
+
+// Cores reports the CPU count used when pricing this node's work.
+func (s *Server) Cores() int { return s.cfg.Cores }
+
+// Serve accepts host connections on ln. Protocol (all frames over the
+// session-key-bound secure channel):
+//
+//	-> "offload"  payload = sessionID \x00 SQL
+//	<- "result"   payload = exec wire encoding
+//	<- "error"    payload = message
+//
+// The first frame's session binding: the channel handshake requires the
+// session key named in a plaintext preamble frame ("session" + id), which the
+// server looks up before upgrading.
+func (s *Server) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go s.handleConn(conn)
+	}
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer conn.Close()
+	// Plaintext preamble: the session id length-prefixed.
+	var idLen [1]byte
+	if _, err := readFull(conn, idLen[:]); err != nil {
+		return
+	}
+	idBuf := make([]byte, idLen[0])
+	if _, err := readFull(conn, idBuf); err != nil {
+		return
+	}
+	key, ok := s.sessionKey(string(idBuf))
+	if !ok {
+		return // unknown session: refuse to handshake
+	}
+	sc, err := transport.Server(conn, key, s.cfg.Meter)
+	if err != nil {
+		return
+	}
+	defer sc.Close()
+	for {
+		typ, payload, err := sc.Recv()
+		if err != nil {
+			return
+		}
+		switch typ {
+		case "offload":
+			res, err := s.ExecOffload(string(payload))
+			if err != nil {
+				sc.Send("error", []byte(err.Error()))
+				continue
+			}
+			blob, err := exec.EncodeResult(res)
+			if err != nil {
+				sc.Send("error", []byte(err.Error()))
+				continue
+			}
+			s.cfg.Meter.RowsShipped.Add(int64(len(res.Rows)))
+			sc.Send("result", blob)
+		case "bye":
+			return
+		default:
+			sc.Send("error", []byte("unknown command "+typ))
+		}
+	}
+}
+
+func readFull(conn net.Conn, buf []byte) (int, error) {
+	n := 0
+	for n < len(buf) {
+		m, err := conn.Read(buf[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// FetchBlock serves a raw medium block to a remote host (the NFS-like path
+// of the host-only configurations). The block moves over the link, so the
+// storage side charges its bytes here.
+func (s *Server) FetchBlock(idx uint32) ([]byte, error) {
+	b, err := s.medium.ReadBlock(idx)
+	if err != nil {
+		return nil, err
+	}
+	s.cfg.Meter.BytesSent.Add(int64(len(b)))
+	return b, nil
+}
+
+// StoreBlock writes a raw medium block on behalf of a remote host.
+func (s *Server) StoreBlock(idx uint32, data []byte) error {
+	s.cfg.Meter.BytesReceived.Add(int64(len(data)))
+	return s.medium.WriteBlock(idx, data)
+}
+
+// Blocks reports the medium size for remote mounting.
+func (s *Server) Blocks() uint32 { return s.medium.NumBlocks() }
+
+// VerifyStore re-verifies every page of the secure store against the RPMB
+// anchor — the audit-time integrity sweep a regulator or operator can
+// request. It is a no-op success on non-secure configurations.
+func (s *Server) VerifyStore() error {
+	if ss, ok := s.store.(*securestore.Store); ok {
+		return ss.VerifyAll()
+	}
+	return nil
+}

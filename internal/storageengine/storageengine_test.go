@@ -1,0 +1,223 @@
+package storageengine
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"ironsafe/internal/simtime"
+	"ironsafe/internal/tee/trustzone"
+	"ironsafe/internal/transport"
+)
+
+func newServer(t *testing.T, secure bool) (*Server, *simtime.Meter) {
+	t.Helper()
+	vendor, err := trustzone.NewVendor("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m simtime.Meter
+	s, err := New(Config{
+		DeviceID: "storage-01", Vendor: vendor,
+		Location: "EU", FWVersion: "3.4",
+		Secure: secure, Meter: &m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, &m
+}
+
+func seed(t *testing.T, s *Server) {
+	t.Helper()
+	if _, err := s.DB().Execute("CREATE TABLE t (a INTEGER, b VARCHAR(16))"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.DB().Execute("INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'z')"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRequiresMeterAndVendor(t *testing.T) {
+	vendor, _ := trustzone.NewVendor("v")
+	if _, err := New(Config{Vendor: vendor}); err == nil {
+		t.Error("nil meter accepted")
+	}
+	var m simtime.Meter
+	if _, err := New(Config{Meter: &m}); err == nil {
+		t.Error("nil vendor accepted")
+	}
+}
+
+func TestExecOffloadSecure(t *testing.T) {
+	s, m := newServer(t, true)
+	seed(t, s)
+	base := m.Snapshot()
+	res, err := s.ExecOffload("SELECT a FROM t WHERE a > 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	d := m.Snapshot().Sub(base)
+	if d.PagesDecrypted == 0 || d.MerkleVerifies == 0 {
+		t.Errorf("secure offload did not touch secure store: %+v", d)
+	}
+}
+
+func TestExecOffloadVanillaSkipsCrypto(t *testing.T) {
+	s, m := newServer(t, false)
+	seed(t, s)
+	base := m.Snapshot()
+	if _, err := s.ExecOffload("SELECT a FROM t"); err != nil {
+		t.Fatal(err)
+	}
+	d := m.Snapshot().Sub(base)
+	if d.PagesDecrypted != 0 || d.MerkleVerifies != 0 {
+		t.Errorf("vanilla offload paid crypto: %+v", d)
+	}
+}
+
+func TestAttestationWorks(t *testing.T) {
+	s, _ := newServer(t, true)
+	report, err := s.Attest([]byte("challenge"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.NormalWorld != s.NormalWorldMeasurement() {
+		t.Error("report measurement mismatch")
+	}
+}
+
+func TestMemoryBudgetSpill(t *testing.T) {
+	vendor, _ := trustzone.NewVendor("acme")
+	var m simtime.Meter
+	s, err := New(Config{
+		DeviceID: "s", Vendor: vendor, Secure: false, Meter: &m,
+		MemoryBudget: 1024, // absurdly small
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed(t, s)
+	for i := 0; i < 200; i++ {
+		s.DB().Execute("INSERT INTO t VALUES (9, 'padding-row-payload')")
+	}
+	base := m.Snapshot()
+	if _, err := s.ExecOffload("SELECT * FROM t"); err != nil {
+		t.Fatal(err)
+	}
+	d := m.Snapshot().Sub(base)
+	if d.PagesWritten == 0 {
+		t.Errorf("no spill charged under tiny budget: %+v", d)
+	}
+}
+
+func TestSessionKeyLifecycle(t *testing.T) {
+	s, _ := newServer(t, false)
+	s.InstallSessionKey("sess-1", []byte("k"))
+	if k, ok := s.sessionKey("sess-1"); !ok || string(k) != "k" {
+		t.Error("key not installed")
+	}
+	s.RevokeSessionKey("sess-1")
+	if _, ok := s.sessionKey("sess-1"); ok {
+		t.Error("key not revoked")
+	}
+}
+
+func TestServeOffloadOverTCP(t *testing.T) {
+	s, _ := newServer(t, true)
+	seed(t, s)
+	s.InstallSessionKey("sess-9", []byte("monitor-issued-key"))
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go s.Serve(ln)
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write(append([]byte{byte(len("sess-9"))}, "sess-9"...))
+	sc, err := transport.Client(conn, []byte("monitor-issued-key"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	if err := sc.Send("offload", []byte("SELECT a FROM t WHERE a >= 2")); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := sc.Recv()
+	if err != nil || typ != "result" {
+		t.Fatalf("recv = %q, %v", typ, err)
+	}
+	if len(payload) == 0 {
+		t.Error("empty result payload")
+	}
+	// Errors travel as error frames.
+	sc.Send("offload", []byte("SELECT nope FROM t"))
+	typ, payload, _ = sc.Recv()
+	if typ != "error" || !strings.Contains(string(payload), "nope") {
+		t.Errorf("error frame = %q %q", typ, payload)
+	}
+	sc.Send("unknown-cmd", nil)
+	typ, _, _ = sc.Recv()
+	if typ != "error" {
+		t.Errorf("unknown command = %q", typ)
+	}
+}
+
+func TestServeRejectsUnknownSession(t *testing.T) {
+	s, _ := newServer(t, false)
+	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+	defer ln.Close()
+	go s.Serve(ln)
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write(append([]byte{byte(len("bogus"))}, "bogus"...))
+	if _, err := transport.Client(conn, []byte("whatever"), nil); err == nil {
+		t.Error("handshake with unknown session succeeded")
+	}
+}
+
+func TestServeRejectsWrongSessionKey(t *testing.T) {
+	s, _ := newServer(t, false)
+	s.InstallSessionKey("sess-1", []byte("right-key"))
+	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+	defer ln.Close()
+	go s.Serve(ln)
+	conn, _ := net.Dial("tcp", ln.Addr().String())
+	conn.Write(append([]byte{byte(len("sess-1"))}, "sess-1"...))
+	if _, err := transport.Client(conn, []byte("wrong-key"), nil); err == nil {
+		t.Error("handshake with wrong key succeeded")
+	}
+}
+
+func TestBlockFetcher(t *testing.T) {
+	s, m := newServer(t, false)
+	seed(t, s)
+	n := s.Blocks()
+	if n == 0 {
+		t.Fatal("no blocks")
+	}
+	base := m.Snapshot()
+	b, err := s.FetchBlock(0)
+	if err != nil || len(b) == 0 {
+		t.Fatalf("fetch: %v", err)
+	}
+	if m.Snapshot().Sub(base).BytesSent == 0 {
+		t.Error("fetch did not charge bytes")
+	}
+	if err := s.StoreBlock(n, make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Blocks() != n+1 {
+		t.Errorf("blocks = %d", s.Blocks())
+	}
+}

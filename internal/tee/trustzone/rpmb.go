@@ -1,0 +1,113 @@
+package trustzone
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// RPMB simulates an eMMC replay-protected memory block: a small authenticated
+// store whose writes carry a MAC over (key, address, data, write counter) and
+// whose reads are bound to a caller nonce. The monotonic write counter is the
+// anti-replay/anti-fork anchor: a replayed write frame carries a stale
+// counter and is rejected, and two forked replicas cannot both advance the
+// same counter.
+type RPMB struct {
+	mu      sync.Mutex
+	key     []byte
+	counter uint32
+	blocks  map[uint16][]byte
+}
+
+// RPMBBlockSize is the fixed block payload size (256 bytes as in eMMC).
+const RPMBBlockSize = 256
+
+func newRPMB(key []byte) *RPMB {
+	return &RPMB{key: key, blocks: map[uint16][]byte{}}
+}
+
+// WriteCounter returns the current monotonic write counter.
+func (r *RPMB) WriteCounter() uint32 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counter
+}
+
+func (r *RPMB) writeMAC(addr uint16, data []byte, counter uint32) []byte {
+	mac := hmac.New(sha256.New, r.key)
+	mac.Write([]byte("rpmb-write|"))
+	var hdr [6]byte
+	binary.BigEndian.PutUint16(hdr[0:2], addr)
+	binary.BigEndian.PutUint32(hdr[2:6], counter)
+	mac.Write(hdr[:])
+	mac.Write(data)
+	return mac.Sum(nil)
+}
+
+func (r *RPMB) readMAC(addr uint16, data []byte, counter uint32, nonce []byte) []byte {
+	mac := hmac.New(sha256.New, r.key)
+	mac.Write([]byte("rpmb-read|"))
+	var hdr [6]byte
+	binary.BigEndian.PutUint16(hdr[0:2], addr)
+	binary.BigEndian.PutUint32(hdr[2:6], counter)
+	mac.Write(hdr[:])
+	mac.Write(nonce)
+	mac.Write(data)
+	return mac.Sum(nil)
+}
+
+// AuthorizedWrite writes one block. The caller must present a MAC computed
+// with the RPMB key over (addr, data, expectedCounter); a wrong MAC or stale
+// counter is rejected, which is what defeats replayed write frames.
+func (r *RPMB) AuthorizedWrite(addr uint16, data []byte, expectedCounter uint32, mac []byte) error {
+	if len(data) > RPMBBlockSize {
+		return fmt.Errorf("trustzone: rpmb block too large (%d > %d)", len(data), RPMBBlockSize)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if expectedCounter != r.counter {
+		return fmt.Errorf("trustzone: rpmb write counter mismatch (got %d, device at %d): replay or fork detected", expectedCounter, r.counter)
+	}
+	if !hmac.Equal(mac, r.writeMAC(addr, data, expectedCounter)) {
+		return errors.New("trustzone: rpmb write MAC invalid")
+	}
+	r.blocks[addr] = append([]byte(nil), data...)
+	r.counter++
+	return nil
+}
+
+// AuthorizedRead returns (data, counter, mac-over-nonce). The caller verifies
+// the MAC with the shared key to authenticate the response and binds it to
+// the fresh nonce to prevent response replay.
+func (r *RPMB) AuthorizedRead(addr uint16, nonce []byte) (data []byte, counter uint32, mac []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	data = append([]byte(nil), r.blocks[addr]...)
+	counter = r.counter
+	mac = r.readMAC(addr, data, counter, nonce)
+	return data, counter, mac
+}
+
+// VerifyReadMAC lets a key-holder validate an AuthorizedRead response.
+func (r *RPMB) VerifyReadMAC(addr uint16, data []byte, counter uint32, nonce, mac []byte) bool {
+	return hmac.Equal(mac, r.readMAC(addr, data, counter, nonce))
+}
+
+// MakeWriteMAC computes the MAC an authorized agent attaches to a write.
+// Only holders of the RPMB key (the secure-storage TA) can produce it.
+func (r *RPMB) MakeWriteMAC(addr uint16, data []byte, counter uint32) []byte {
+	return r.writeMAC(addr, data, counter)
+}
+
+// RawTamper models a physical attacker overwriting RPMB flash contents out
+// of band (for tests of detection paths). It bypasses authentication on
+// purpose — real RPMB would not allow this, but the *detection* of such
+// tampering by MAC verification is what IronSafe relies on.
+func (r *RPMB) RawTamper(addr uint16, data []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.blocks[addr] = append([]byte(nil), data...)
+}

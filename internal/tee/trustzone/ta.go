@@ -1,0 +1,209 @@
+package trustzone
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Names of the built-in trusted applications.
+const (
+	// AttestationTAName generates remote attestation reports.
+	AttestationTAName = "attestation-ta"
+	// SecureStorageTAName derives HUK-bound keys and brokers RPMB access.
+	SecureStorageTAName = "secure-storage-ta"
+)
+
+func (s *SecureWorld) installBuiltinTAs() {
+	s.tas[AttestationTAName] = &attestationTA{sw: s}
+	s.tas[SecureStorageTAName] = &secureStorageTA{sw: s}
+}
+
+// AttestationReport is the storage system's answer to a monitor challenge:
+// the device signs (challenge, normal-world hash, boot chain) with its
+// ROTPK-certified attestation key.
+type AttestationReport struct {
+	DeviceID    string      `json:"device_id"`
+	Challenge   []byte      `json:"challenge"`
+	NormalWorld Measurement `json:"normal_world"`
+	BootChain   BootChain   `json:"boot_chain"`
+	Cert        DeviceCert  `json:"cert"`
+	Signature   []byte      `json:"signature"`
+}
+
+func reportDigest(r *AttestationReport) []byte {
+	h := sha256.New()
+	h.Write([]byte("tz-report-v1|"))
+	h.Write([]byte(r.DeviceID))
+	h.Write([]byte{'|'})
+	h.Write(r.Challenge)
+	h.Write(r.NormalWorld[:])
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(r.BootChain)))
+	h.Write(n[:])
+	for _, rec := range r.BootChain {
+		h.Write([]byte(rec.Stage))
+		h.Write([]byte{'|'})
+		h.Write([]byte(rec.Version))
+		h.Write([]byte{'|'})
+		h.Write(rec.Measurement[:])
+	}
+	return h.Sum(nil)
+}
+
+// attestationTA implements the remote attestation protocol of §4.2/Fig 4b.
+type attestationTA struct {
+	sw *SecureWorld
+}
+
+// Invoke handles "attest" with the challenge as request body and returns a
+// JSON-encoded AttestationReport.
+func (ta *attestationTA) Invoke(cmd string, req []byte) ([]byte, error) {
+	if cmd != "attest" {
+		return nil, fmt.Errorf("trustzone: attestation TA: unknown command %q", cmd)
+	}
+	if len(req) == 0 {
+		return nil, errors.New("trustzone: attestation TA: empty challenge")
+	}
+	d := ta.sw.device
+	report := AttestationReport{
+		DeviceID:    d.ID,
+		Challenge:   append([]byte(nil), req...),
+		NormalWorld: ta.sw.nwMeasurement,
+		BootChain:   ta.sw.BootChain(),
+		Cert:        d.cert,
+	}
+	report.Signature = ed25519.Sign(d.attestKey, reportDigest(&report))
+	return json.Marshal(report)
+}
+
+// VerifyReport validates an attestation report against a vendor ROTPK and
+// the challenge the verifier issued. On success it returns nil; the caller
+// then decides whether the attested measurements satisfy policy.
+func VerifyReport(report *AttestationReport, rotpk ed25519.PublicKey, challenge []byte) error {
+	if !ed25519.Verify(rotpk, deviceCertDigest(report.Cert.DeviceID, report.Cert.AttestPK), report.Cert.Sig) {
+		return errors.New("trustzone: device certificate not signed by ROTPK")
+	}
+	if report.Cert.DeviceID != report.DeviceID {
+		return fmt.Errorf("trustzone: certificate issued to %q but report claims %q", report.Cert.DeviceID, report.DeviceID)
+	}
+	if string(report.Challenge) != string(challenge) {
+		return errors.New("trustzone: challenge mismatch (replayed report?)")
+	}
+	if !ed25519.Verify(report.Cert.AttestPK, reportDigest(report), report.Signature) {
+		return errors.New("trustzone: report signature invalid")
+	}
+	return nil
+}
+
+// secureStorageTA brokers HUK-derived keys and RPMB access for the trusted
+// normal-world storage stack.
+type secureStorageTA struct {
+	sw *SecureWorld
+}
+
+// rpmbWriteReq is the JSON body of an "rpmb-write" command.
+type rpmbWriteReq struct {
+	Addr uint16 `json:"addr"`
+	Data []byte `json:"data"`
+}
+
+// rpmbReadReq is the JSON body of an "rpmb-read" command.
+type rpmbReadReq struct {
+	Addr  uint16 `json:"addr"`
+	Nonce []byte `json:"nonce"`
+}
+
+// RPMBReadResp is the JSON response of an "rpmb-read" command.
+type RPMBReadResp struct {
+	Data    []byte `json:"data"`
+	Counter uint32 `json:"counter"`
+	MAC     []byte `json:"mac"`
+}
+
+// Invoke handles:
+//
+//	"derive":      req is a label; returns a 32-byte HUK-derived key.
+//	"rpmb-write":  req is rpmbWriteReq; the TA authenticates the write with
+//	               the RPMB key it alone holds.
+//	"rpmb-read":   req is rpmbReadReq; returns RPMBReadResp with the MAC
+//	               verified by the TA before returning.
+func (ta *secureStorageTA) Invoke(cmd string, req []byte) ([]byte, error) {
+	d := ta.sw.device
+	switch cmd {
+	case "derive":
+		if len(req) == 0 {
+			return nil, errors.New("trustzone: derive: empty label")
+		}
+		return deriveKey(d.huk[:], "storage|"+string(req)), nil
+	case "rpmb-write":
+		var r rpmbWriteReq
+		if err := json.Unmarshal(req, &r); err != nil {
+			return nil, fmt.Errorf("trustzone: rpmb-write: %w", err)
+		}
+		counter := d.rpmb.WriteCounter()
+		mac := d.rpmb.MakeWriteMAC(r.Addr, r.Data, counter)
+		ta.sw.meter.RPMBWrites.Add(1)
+		if err := d.rpmb.AuthorizedWrite(r.Addr, r.Data, counter, mac); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	case "rpmb-read":
+		var r rpmbReadReq
+		if err := json.Unmarshal(req, &r); err != nil {
+			return nil, fmt.Errorf("trustzone: rpmb-read: %w", err)
+		}
+		ta.sw.meter.RPMBReads.Add(1)
+		data, counter, mac := d.rpmb.AuthorizedRead(r.Addr, r.Nonce)
+		if !d.rpmb.VerifyReadMAC(r.Addr, data, counter, r.Nonce, mac) {
+			return nil, errors.New("trustzone: rpmb read response MAC invalid")
+		}
+		return json.Marshal(RPMBReadResp{Data: data, Counter: counter, MAC: mac})
+	default:
+		return nil, fmt.Errorf("trustzone: secure storage TA: unknown command %q", cmd)
+	}
+}
+
+// RPMBWrite is a normal-world convenience wrapper around the secure-storage
+// TA's "rpmb-write" command.
+func (n *NormalWorld) RPMBWrite(addr uint16, data []byte) error {
+	req, err := json.Marshal(rpmbWriteReq{Addr: addr, Data: data})
+	if err != nil {
+		return err
+	}
+	_, err = n.InvokeTA(SecureStorageTAName, "rpmb-write", req)
+	return err
+}
+
+// RPMBRead is a normal-world convenience wrapper around "rpmb-read".
+func (n *NormalWorld) RPMBRead(addr uint16, nonce []byte) (*RPMBReadResp, error) {
+	req, err := json.Marshal(rpmbReadReq{Addr: addr, Nonce: nonce})
+	if err != nil {
+		return nil, err
+	}
+	out, err := n.InvokeTA(SecureStorageTAName, "rpmb-read", req)
+	if err != nil {
+		return nil, err
+	}
+	var resp RPMBReadResp
+	if err := json.Unmarshal(out, &resp); err != nil {
+		return nil, fmt.Errorf("trustzone: rpmb-read response: %w", err)
+	}
+	return &resp, nil
+}
+
+// Attest is a convenience wrapper invoking the attestation TA.
+func (n *NormalWorld) Attest(challenge []byte) (*AttestationReport, error) {
+	out, err := n.InvokeTA(AttestationTAName, "attest", challenge)
+	if err != nil {
+		return nil, err
+	}
+	var report AttestationReport
+	if err := json.Unmarshal(out, &report); err != nil {
+		return nil, fmt.Errorf("trustzone: attest response: %w", err)
+	}
+	return &report, nil
+}

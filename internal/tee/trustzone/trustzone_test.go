@@ -1,0 +1,313 @@
+package trustzone
+
+import (
+	"bytes"
+	"testing"
+
+	"ironsafe/internal/simtime"
+)
+
+// bootDevice manufactures a device and boots it with a standard image set.
+func bootDevice(t *testing.T) (*Vendor, *Device, *SecureWorld, *NormalWorld, *simtime.Meter) {
+	t.Helper()
+	vendor, err := NewVendor("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := NewDevice("storage-01", vendor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atf := vendor.SignImage("atf", "2.4", []byte("arm trusted firmware"))
+	tos := vendor.SignImage("optee", "3.4", []byte("op-tee trusted os"))
+	nwImg := FirmwareImage{Name: "normal-world", Version: "1.0", Code: []byte("linux + storage engine")}
+	var m simtime.Meter
+	sw, nw, err := dev.Boot(atf, tos, nwImg, &m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vendor, dev, sw, nw, &m
+}
+
+func TestTrustedBootProducesChain(t *testing.T) {
+	_, _, sw, nw, _ := bootDevice(t)
+	chain := sw.BootChain()
+	if len(chain) != 3 {
+		t.Fatalf("boot chain length = %d", len(chain))
+	}
+	if chain[0].Stage != "atf" || chain[1].Stage != "optee" || chain[2].Stage != "normal-world" {
+		t.Errorf("chain stages = %v", chain)
+	}
+	if nw.Measurement != MeasureImage([]byte("linux + storage engine")) {
+		t.Error("normal world measurement mismatch")
+	}
+	if sw.NormalWorldMeasurement() != nw.Measurement {
+		t.Error("secure/normal measurement disagreement")
+	}
+	if nw.FirmwareVersion != "1.0" {
+		t.Errorf("fw version = %q", nw.FirmwareVersion)
+	}
+}
+
+func TestBootRejectsUnsignedFirmware(t *testing.T) {
+	vendor, _ := NewVendor("acme")
+	evil, _ := NewVendor("evil")
+	dev, _ := NewDevice("d", vendor)
+	good := vendor.SignImage("atf", "2.4", []byte("atf"))
+	tos := vendor.SignImage("optee", "3.4", []byte("optee"))
+	nw := FirmwareImage{Name: "nw", Version: "1", Code: []byte("nw")}
+	var m simtime.Meter
+
+	// Image signed by the wrong vendor.
+	badATF := evil.SignImage("atf", "2.4", []byte("atf"))
+	if _, _, err := dev.Boot(badATF, tos, nw, &m); err == nil {
+		t.Error("boot accepted wrong-vendor ATF")
+	}
+	// Tampered code under a valid signature.
+	tampered := good
+	tampered.Code = []byte("backdoored atf")
+	if _, _, err := dev.Boot(tampered, tos, nw, &m); err == nil {
+		t.Error("boot accepted tampered image")
+	}
+	// Version rollback under a signature for another version.
+	rolled := good
+	rolled.Version = "1.0"
+	if _, _, err := dev.Boot(rolled, tos, nw, &m); err == nil {
+		t.Error("boot accepted version-swapped image")
+	}
+	if _, _, err := dev.Boot(good, tos, nw, nil); err == nil {
+		t.Error("boot without meter should fail")
+	}
+	// Sanity: the unmodified chain boots.
+	if _, _, err := dev.Boot(good, tos, nw, &m); err != nil {
+		t.Errorf("genuine boot failed: %v", err)
+	}
+}
+
+func TestWorldSwitchAccounting(t *testing.T) {
+	_, _, _, nw, m := bootDevice(t)
+	before := m.Snapshot().WorldSwitches
+	if _, err := nw.DeriveStorageKey("db"); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Snapshot().WorldSwitches - before; got != 1 {
+		t.Errorf("world switches per TA call = %d", got)
+	}
+}
+
+func TestDeriveStorageKeyDeterministicPerLabel(t *testing.T) {
+	_, _, _, nw, _ := bootDevice(t)
+	k1, err := nw.DeriveStorageKey("db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := nw.DeriveStorageKey("db")
+	k3, _ := nw.DeriveStorageKey("other")
+	if !bytes.Equal(k1, k2) {
+		t.Error("same label must derive same key")
+	}
+	if bytes.Equal(k1, k3) {
+		t.Error("different labels must derive different keys")
+	}
+	if len(k1) != 32 {
+		t.Errorf("key length = %d", len(k1))
+	}
+	if _, err := nw.DeriveStorageKey(""); err == nil {
+		t.Error("empty label should fail")
+	}
+}
+
+func TestDeriveKeyDeviceBound(t *testing.T) {
+	vendor, _ := NewVendor("acme")
+	d1, _ := NewDevice("a", vendor)
+	d2, _ := NewDevice("b", vendor)
+	img := vendor.SignImage("atf", "1", []byte("atf"))
+	tos := vendor.SignImage("optee", "1", []byte("tos"))
+	nwImg := FirmwareImage{Name: "nw", Version: "1", Code: []byte("nw")}
+	var m simtime.Meter
+	_, nw1, _ := d1.Boot(img, tos, nwImg, &m)
+	_, nw2, _ := d2.Boot(img, tos, nwImg, &m)
+	k1, _ := nw1.DeriveStorageKey("db")
+	k2, _ := nw2.DeriveStorageKey("db")
+	if bytes.Equal(k1, k2) {
+		t.Error("storage keys must be device-unique (HUK-bound)")
+	}
+}
+
+func TestAttestationRoundTrip(t *testing.T) {
+	vendor, _, _, nw, _ := bootDevice(t)
+	challenge := []byte("monitor-nonce-123")
+	report, err := nw.Attest(challenge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyReport(report, vendor.ROTPK, challenge); err != nil {
+		t.Fatalf("genuine report rejected: %v", err)
+	}
+	if report.NormalWorld != nw.Measurement {
+		t.Error("report attests wrong normal world")
+	}
+	if len(report.BootChain) != 3 {
+		t.Errorf("boot chain in report = %d records", len(report.BootChain))
+	}
+}
+
+func TestAttestationTamperDetected(t *testing.T) {
+	vendor, _, _, nw, _ := bootDevice(t)
+	challenge := []byte("nonce")
+	report, _ := nw.Attest(challenge)
+
+	bad := *report
+	bad.NormalWorld[0] ^= 1
+	if err := VerifyReport(&bad, vendor.ROTPK, challenge); err == nil {
+		t.Error("tampered NW measurement accepted")
+	}
+	bad = *report
+	bad.DeviceID = "impostor"
+	if err := VerifyReport(&bad, vendor.ROTPK, challenge); err == nil {
+		t.Error("device ID spoof accepted")
+	}
+	if err := VerifyReport(report, vendor.ROTPK, []byte("other-nonce")); err == nil {
+		t.Error("replayed report (wrong challenge) accepted")
+	}
+	bad = *report
+	bad.BootChain = bad.BootChain[:1]
+	if err := VerifyReport(&bad, vendor.ROTPK, challenge); err == nil {
+		t.Error("truncated boot chain accepted")
+	}
+	otherVendor, _ := NewVendor("other")
+	if err := VerifyReport(report, otherVendor.ROTPK, challenge); err == nil {
+		t.Error("report accepted under wrong ROTPK")
+	}
+}
+
+func TestAttestationImpersonationRejected(t *testing.T) {
+	// An attacker device from another vendor presents its own cert while
+	// claiming a trusted vendor's identity.
+	vendor, _ := NewVendor("acme")
+	evilVendor, _ := NewVendor("evil")
+	evilDev, _ := NewDevice("storage-01", evilVendor) // same ID as real device
+	atf := evilVendor.SignImage("atf", "2.4", []byte("atf"))
+	tos := evilVendor.SignImage("optee", "3.4", []byte("tos"))
+	nwImg := FirmwareImage{Name: "nw", Version: "1", Code: []byte("nw")}
+	var m simtime.Meter
+	_, evilNW, err := evilDev.Boot(atf, tos, nwImg, &m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, _ := evilNW.Attest([]byte("nonce"))
+	if err := VerifyReport(report, vendor.ROTPK, []byte("nonce")); err == nil {
+		t.Error("impersonating device accepted under victim ROTPK")
+	}
+}
+
+func TestRPMBWriteReadRoundTrip(t *testing.T) {
+	_, _, _, nw, m := bootDevice(t)
+	payload := []byte("merkle-root-hmac")
+	if err := nw.RPMBWrite(7, payload); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := nw.RPMBRead(7, []byte("nonce1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp.Data, payload) {
+		t.Errorf("read back %q", resp.Data)
+	}
+	if resp.Counter != 1 {
+		t.Errorf("counter = %d, want 1", resp.Counter)
+	}
+	s := m.Snapshot()
+	if s.RPMBWrites != 1 || s.RPMBReads != 1 {
+		t.Errorf("rpmb accounting = %+v", s)
+	}
+}
+
+func TestRPMBCounterMonotonic(t *testing.T) {
+	_, _, _, nw, _ := bootDevice(t)
+	for i := 0; i < 5; i++ {
+		if err := nw.RPMBWrite(0, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, _ := nw.RPMBRead(0, []byte("n"))
+	if resp.Counter != 5 {
+		t.Errorf("counter = %d, want 5", resp.Counter)
+	}
+	if resp.Data[0] != 4 {
+		t.Errorf("latest write lost: %v", resp.Data)
+	}
+}
+
+func TestRPMBReplayedWriteRejected(t *testing.T) {
+	_, dev, _, nw, _ := bootDevice(t)
+	if err := nw.RPMBWrite(0, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// Capture a valid frame for counter 1, then replay it after another
+	// write advanced the counter.
+	frameMAC := dev.rpmb.MakeWriteMAC(0, []byte("v1-replay"), 1)
+	if err := dev.rpmb.AuthorizedWrite(0, []byte("v1-replay"), 1, frameMAC); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.rpmb.AuthorizedWrite(0, []byte("v1-replay"), 1, frameMAC); err == nil {
+		t.Error("replayed write frame accepted")
+	}
+}
+
+func TestRPMBBadMACRejected(t *testing.T) {
+	_, dev, _, _, _ := bootDevice(t)
+	err := dev.rpmb.AuthorizedWrite(0, []byte("x"), 0, []byte("not-a-mac"))
+	if err == nil {
+		t.Error("bad write MAC accepted")
+	}
+	if err := dev.rpmb.AuthorizedWrite(0, make([]byte, RPMBBlockSize+1), 0, nil); err == nil {
+		t.Error("oversized block accepted")
+	}
+}
+
+func TestRPMBRawTamperDetectedByMAC(t *testing.T) {
+	_, dev, _, nw, _ := bootDevice(t)
+	if err := nw.RPMBWrite(3, []byte("root-v1")); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := nw.RPMBRead(3, []byte("n1"))
+	// Physical attacker rewrites flash out of band.
+	dev.rpmb.RawTamper(3, []byte("root-v0"))
+	resp2, _ := nw.RPMBRead(3, []byte("n1"))
+	if bytes.Equal(resp2.Data, resp.Data) {
+		t.Skip("tamper did not change data")
+	}
+	// The freshness check is done by comparing the stored root against the
+	// recomputed one; here we just confirm the stale data is visible and
+	// distinguishable — securestore tests cover end-to-end detection.
+	if bytes.Equal(resp2.Data, []byte("root-v1")) {
+		t.Error("tamper had no effect")
+	}
+}
+
+func TestInvokeUnknownTA(t *testing.T) {
+	_, _, sw, nw, _ := bootDevice(t)
+	if _, err := nw.InvokeTA("no-such-ta", "x", nil); err == nil {
+		t.Error("unknown TA accepted")
+	}
+	if _, err := sw.InvokeTA(AttestationTAName, "bogus-cmd", nil); err == nil {
+		t.Error("unknown command accepted")
+	}
+	if _, err := sw.InvokeTA(AttestationTAName, "attest", nil); err == nil {
+		t.Error("empty challenge accepted")
+	}
+}
+
+func TestInstallCustomTA(t *testing.T) {
+	_, _, sw, nw, _ := bootDevice(t)
+	sw.InstallTA("echo", echoTA{})
+	out, err := nw.InvokeTA("echo", "say", []byte("hi"))
+	if err != nil || string(out) != "hi" {
+		t.Errorf("custom TA: %q, %v", out, err)
+	}
+}
+
+type echoTA struct{}
+
+func (echoTA) Invoke(cmd string, req []byte) ([]byte, error) { return req, nil }

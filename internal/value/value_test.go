@@ -1,0 +1,408 @@
+package value
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull: "NULL", KindInt: "INTEGER", KindFloat: "DOUBLE",
+		KindString: "VARCHAR", KindDate: "DATE", KindBool: "BOOLEAN",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if !Null().IsNull() {
+		t.Error("Null() should be null")
+	}
+	if got := Int(42).AsInt(); got != 42 {
+		t.Errorf("Int(42).AsInt() = %d", got)
+	}
+	if got := Float(2.5).AsFloat(); got != 2.5 {
+		t.Errorf("Float(2.5).AsFloat() = %v", got)
+	}
+	if got := Str("x").AsString(); got != "x" {
+		t.Errorf("Str(x).AsString() = %q", got)
+	}
+	if !Bool(true).AsBool() || Bool(false).AsBool() {
+		t.Error("Bool roundtrip failed")
+	}
+	if got := Int(7).AsFloat(); got != 7 {
+		t.Errorf("Int widening = %v", got)
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("AsInt on string", func() { Str("a").AsInt() })
+	mustPanic("AsFloat on string", func() { Str("a").AsFloat() })
+	mustPanic("AsString on int", func() { Int(1).AsString() })
+	mustPanic("AsBool on int", func() { Int(1).AsBool() })
+}
+
+func TestCompare(t *testing.T) {
+	tests := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Int(3), Int(2), 1},
+		{Int(2), Float(2.0), 0},
+		{Float(1.5), Int(2), -1},
+		{Str("a"), Str("b"), -1},
+		{Str("b"), Str("b"), 0},
+		{Null(), Int(1), -1},
+		{Int(1), Null(), 1},
+		{Null(), Null(), 0},
+		{Date(10), Date(20), -1},
+		{Bool(false), Bool(true), -1},
+	}
+	for _, tc := range tests {
+		got, err := Compare(tc.a, tc.b)
+		if err != nil {
+			t.Errorf("Compare(%v,%v): %v", tc.a, tc.b, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestCompareTypeMismatch(t *testing.T) {
+	if _, err := Compare(Str("a"), Int(1)); err == nil {
+		t.Error("expected error comparing string to int")
+	}
+	if _, err := Compare(Date(0), Str("a")); err == nil {
+		t.Error("expected error comparing date to string")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(Int(5), Float(5)) {
+		t.Error("Int(5) should equal Float(5)")
+	}
+	if Equal(Null(), Int(0)) {
+		t.Error("NULL should not equal 0")
+	}
+	if !Equal(Null(), Null()) {
+		t.Error("NULL should Equal NULL (grouping semantics)")
+	}
+	if Equal(Str("a"), Int(1)) {
+		t.Error("mismatched kinds should not be equal")
+	}
+}
+
+func TestArith(t *testing.T) {
+	tests := []struct {
+		op   byte
+		a, b Value
+		want Value
+	}{
+		{'+', Int(2), Int(3), Int(5)},
+		{'-', Int(2), Int(3), Int(-1)},
+		{'*', Int(4), Int(3), Int(12)},
+		{'/', Int(6), Int(3), Int(2)},
+		{'/', Int(7), Int(2), Float(3.5)},
+		{'+', Float(1.5), Int(1), Float(2.5)},
+		{'*', Float(2), Float(3), Float(6)},
+		{'+', Date(100), Int(5), Date(105)},
+		{'-', Date(100), Int(5), Date(95)},
+		{'-', Date(100), Date(90), Int(10)},
+	}
+	for _, tc := range tests {
+		got, err := Arith(tc.op, tc.a, tc.b)
+		if err != nil {
+			t.Errorf("Arith(%c,%v,%v): %v", tc.op, tc.a, tc.b, err)
+			continue
+		}
+		if !Equal(got, tc.want) || got.Kind() != tc.want.Kind() {
+			t.Errorf("Arith(%c,%v,%v) = %v (%s), want %v (%s)",
+				tc.op, tc.a, tc.b, got, got.Kind(), tc.want, tc.want.Kind())
+		}
+	}
+}
+
+func TestArithNullPropagation(t *testing.T) {
+	got, err := Arith('+', Null(), Int(1))
+	if err != nil || !got.IsNull() {
+		t.Errorf("NULL + 1 = %v, %v; want NULL", got, err)
+	}
+	got, err = Arith('*', Int(1), Null())
+	if err != nil || !got.IsNull() {
+		t.Errorf("1 * NULL = %v, %v; want NULL", got, err)
+	}
+}
+
+func TestArithErrors(t *testing.T) {
+	if _, err := Arith('/', Int(1), Int(0)); err == nil {
+		t.Error("int division by zero should error")
+	}
+	if _, err := Arith('/', Float(1), Float(0)); err == nil {
+		t.Error("float division by zero should error")
+	}
+	if _, err := Arith('+', Str("a"), Int(1)); err == nil {
+		t.Error("string arithmetic should error")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	tests := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "NULL"},
+		{Int(-3), "-3"},
+		{Float(2.5), "2.5"},
+		{Str("hi"), "hi"},
+		{MustParseDate("1998-12-01"), "1998-12-01"},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+	}
+	for _, tc := range tests {
+		if got := tc.v.String(); got != tc.want {
+			t.Errorf("String(%v kind %s) = %q, want %q", tc.v, tc.v.Kind(), got, tc.want)
+		}
+	}
+}
+
+func TestHashKeyEquality(t *testing.T) {
+	// Values that compare equal must hash equal.
+	if Int(5).HashKey() != Float(5).HashKey() {
+		t.Error("Int(5) and Float(5) must share a hash key")
+	}
+	if Int(5).HashKey() == Int(6).HashKey() {
+		t.Error("distinct ints must not collide")
+	}
+	if Str("5").HashKey() == Int(5).HashKey() {
+		t.Error("string '5' must not collide with int 5")
+	}
+	if Null().HashKey() == Int(0).HashKey() {
+		t.Error("NULL must not collide with 0")
+	}
+	if Date(5).HashKey() == Int(5).HashKey() {
+		t.Error("date must not collide with int of same payload")
+	}
+}
+
+func TestHashKeyProperty(t *testing.T) {
+	// Property: Equal(a,b) => HashKey equal, for random numeric values.
+	f := func(a, b int32) bool {
+		va, vb := Int(int64(a)), Float(float64(b))
+		if Equal(va, vb) && va.HashKey() != vb.HashKey() {
+			return false
+		}
+		if !Equal(va, vb) && va.HashKey() == vb.HashKey() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDateRoundTripProperty(t *testing.T) {
+	// Property: CivilFromDays(DaysFromCivil(y,m,d)) == (y,m,d).
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		y := 1900 + rng.Intn(300)
+		m := 1 + rng.Intn(12)
+		d := 1 + rng.Intn(DaysInMonth(y, m))
+		days := DaysFromCivil(y, m, d)
+		gy, gm, gd := CivilFromDays(days)
+		if gy != y || gm != m || gd != d {
+			t.Fatalf("roundtrip (%d-%d-%d) -> %d -> (%d-%d-%d)", y, m, d, days, gy, gm, gd)
+		}
+	}
+}
+
+func TestDateMonotonicProperty(t *testing.T) {
+	// Property: consecutive days differ by exactly one.
+	prev := DaysFromCivil(1992, 1, 1)
+	for y := 1992; y <= 1999; y++ {
+		for m := 1; m <= 12; m++ {
+			for d := 1; d <= DaysInMonth(y, m); d++ {
+				if y == 1992 && m == 1 && d == 1 {
+					continue
+				}
+				cur := DaysFromCivil(y, m, d)
+				if cur != prev+1 {
+					t.Fatalf("%04d-%02d-%02d: days %d, prev %d", y, m, d, cur, prev)
+				}
+				prev = cur
+			}
+		}
+	}
+}
+
+func TestParseDate(t *testing.T) {
+	v, err := ParseDate("1970-01-01")
+	if err != nil || v.AsInt() != 0 {
+		t.Errorf("epoch parse = %v, %v", v, err)
+	}
+	v, err = ParseDate("1998-12-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "1998-12-01" {
+		t.Errorf("got %s", v.String())
+	}
+	for _, bad := range []string{"", "1998/12/01", "1998-13-01", "1998-02-30", "98-12-01", "abcd-ef-gh"} {
+		if _, err := ParseDate(bad); err == nil {
+			t.Errorf("ParseDate(%q) should fail", bad)
+		}
+	}
+}
+
+func TestAddInterval(t *testing.T) {
+	d := MustParseDate("1998-12-01")
+	tests := []struct {
+		n    int
+		unit string
+		want string
+	}{
+		{90, "day", "1999-03-01"},
+		{-90, "day", "1998-09-02"},
+		{3, "month", "1999-03-01"},
+		{-3, "month", "1998-09-01"},
+		{1, "year", "1999-12-01"},
+		{13, "month", "2000-01-01"},
+	}
+	for _, tc := range tests {
+		got, err := AddInterval(d, tc.n, tc.unit)
+		if err != nil {
+			t.Errorf("AddInterval(%d %s): %v", tc.n, tc.unit, err)
+			continue
+		}
+		if got.String() != tc.want {
+			t.Errorf("AddInterval(%d %s) = %s, want %s", tc.n, tc.unit, got, tc.want)
+		}
+	}
+}
+
+func TestAddIntervalClamping(t *testing.T) {
+	d := MustParseDate("1996-01-31")
+	got, err := AddInterval(d, 1, "month")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != "1996-02-29" {
+		t.Errorf("Jan 31 + 1 month (leap year) = %s, want 1996-02-29", got)
+	}
+	d = MustParseDate("1995-01-31")
+	got, _ = AddInterval(d, 1, "month")
+	if got.String() != "1995-02-28" {
+		t.Errorf("Jan 31 + 1 month = %s, want 1995-02-28", got)
+	}
+	d = MustParseDate("1996-02-29")
+	got, _ = AddInterval(d, 1, "year")
+	if got.String() != "1997-02-28" {
+		t.Errorf("leap day + 1 year = %s, want 1997-02-28", got)
+	}
+}
+
+func TestAddIntervalErrors(t *testing.T) {
+	if _, err := AddInterval(Int(1), 1, "day"); err == nil {
+		t.Error("interval on int should error")
+	}
+	if _, err := AddInterval(Date(0), 1, "fortnight"); err == nil {
+		t.Error("unknown unit should error")
+	}
+	got, err := AddInterval(Null(), 1, "day")
+	if err != nil || !got.IsNull() {
+		t.Error("interval on NULL should be NULL")
+	}
+}
+
+func TestExtract(t *testing.T) {
+	d := MustParseDate("1997-06-15")
+	y, err := ExtractYear(d)
+	if err != nil || y.AsInt() != 1997 {
+		t.Errorf("ExtractYear = %v, %v", y, err)
+	}
+	m, err := ExtractMonth(d)
+	if err != nil || m.AsInt() != 6 {
+		t.Errorf("ExtractMonth = %v, %v", m, err)
+	}
+	if _, err := ExtractYear(Int(1)); err == nil {
+		t.Error("ExtractYear on int should error")
+	}
+	if v, err := ExtractYear(Null()); err != nil || !v.IsNull() {
+		t.Error("ExtractYear(NULL) should be NULL")
+	}
+}
+
+func TestIsLeap(t *testing.T) {
+	for y, want := range map[int]bool{2000: true, 1900: false, 1996: true, 1997: false, 2400: true} {
+		if got := IsLeap(y); got != want {
+			t.Errorf("IsLeap(%d) = %v", y, got)
+		}
+	}
+}
+
+func TestArithAlgebraicProperties(t *testing.T) {
+	// Commutativity of + and * over random ints (no overflow concerns at
+	// this range), and identity elements.
+	f := func(a, b int32) bool {
+		x, y := Int(int64(a)), Int(int64(b))
+		s1, _ := Arith('+', x, y)
+		s2, _ := Arith('+', y, x)
+		p1, _ := Arith('*', x, y)
+		p2, _ := Arith('*', y, x)
+		id1, _ := Arith('+', x, Int(0))
+		id2, _ := Arith('*', x, Int(1))
+		return Equal(s1, s2) && Equal(p1, p2) && Equal(id1, x) && Equal(id2, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareAntisymmetryProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		x, y := Int(a), Int(b)
+		c1, _ := Compare(x, y)
+		c2, _ := Compare(y, x)
+		return c1 == -c2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDateIntervalInverseProperty(t *testing.T) {
+	// Adding then subtracting the same day interval is the identity.
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		d := Date(int64(rng.Intn(40000)))
+		n := rng.Intn(10000) - 5000
+		fwd, err := AddInterval(d, n, "day")
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := AddInterval(fwd, -n, "day")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(back, d) {
+			t.Fatalf("day interval not invertible: %v +%d -%d = %v", d, n, n, back)
+		}
+	}
+}
