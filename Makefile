@@ -1,0 +1,38 @@
+# Local and CI entry points — .github/workflows/ci.yml calls these same
+# targets so the two can never drift.
+
+GO ?= go
+
+# Tier-1 packages: the race gate ROADMAP.md and the acceptance criteria
+# name explicitly. `make race` extends it to the whole module.
+RACE_PKGS = ./internal/monitor ./internal/engine ./internal/pager ./internal/simtime
+
+.PHONY: all build test race race-tier1 vet lint check clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+race-tier1:
+	$(GO) test -race $(RACE_PKGS)
+
+vet:
+	$(GO) vet ./...
+
+# lint runs the repo-specific invariant suite (see DESIGN.md, "Static
+# analysis & invariants"). Exit 1 means a finding needs a fix or a reviewed
+# //ironsafe:allow directive.
+lint:
+	$(GO) run ./cmd/ironsafe-vet ./...
+
+check: build vet lint test race-tier1
+
+clean:
+	$(GO) clean ./...

@@ -113,7 +113,9 @@ func main() {
 		IAS:             ias,
 		LatestHostFW:    *hostFW,
 		LatestStorageFW: *storageFW,
-		Clock:           func() int64 { return time.Now().UnixNano() },
+		// The deployed monitor stamps sessions and audit entries with real
+		// time; only in-process simulations substitute a virtual clock.
+		Clock: func() int64 { return time.Now().UnixNano() }, //ironsafe:allow wallclock -- deployed-service timestamps
 	})
 	if err != nil {
 		fatal("%v", err)

@@ -12,6 +12,9 @@ import (
 	"ironsafe/internal/pager"
 	"ironsafe/internal/securestore"
 	"ironsafe/internal/simtime"
+	// This example plays the platform vendor and the attacker at once, so
+	// it legitimately manufactures the TrustZone device it then attacks.
+	//ironsafe:allow boundary -- demo owns the whole simulated platform
 	"ironsafe/internal/tee/trustzone"
 )
 

@@ -1,0 +1,177 @@
+// Package analysistest runs an analyzer over golden testdata packages and
+// checks its diagnostics against expectations embedded in the source, in
+// the style of golang.org/x/tools/go/analysis/analysistest.
+//
+// Testdata layout mirrors x/tools: <testdata>/src/<pkgpath>/*.go, where
+// <pkgpath> doubles as the module-relative package path the analyzer sees —
+// so a package that must exercise a path-scoped rule lives under a matching
+// directory (e.g. src/internal/tee/badrand).
+//
+// Expectations are trailing comments of the form
+//
+//	x() // want "regexp"
+//	y() // want "first" "second"
+//
+// Each quoted string is a regular expression that must match the message of
+// exactly one diagnostic reported on that line; diagnostics without a
+// matching want, and wants without a matching diagnostic, fail the test.
+// Diagnostics suppressed by //ironsafe:allow directives are invisible here,
+// which is how directive testdata packages assert suppression: they seed a
+// violation, add the directive, and declare no wants.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"ironsafe/internal/analysis"
+)
+
+// TB is the subset of *testing.T the harness needs.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// Run loads each package under testdata/src and applies the analyzer,
+// comparing surviving findings to // want expectations.
+func Run(t TB, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	for _, p := range pkgPaths {
+		runOne(t, testdata, a, p)
+	}
+}
+
+func runOne(t TB, testdata string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgPath))
+	pkg, err := analysis.LoadDir(dir, pkgPath)
+	if err != nil {
+		t.Fatalf("%s: %v", pkgPath, err)
+	}
+	if pkg == nil {
+		t.Fatalf("%s: no Go files in %s", pkgPath, dir)
+	}
+	findings, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("%s: %v", pkgPath, err)
+	}
+
+	wants, err := collectWants(dir)
+	if err != nil {
+		t.Fatalf("%s: %v", pkgPath, err)
+	}
+
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", filepath.Base(f.Pos.Filename), f.Pos.Line)
+		ws := wants[key]
+		matched := -1
+		for i, w := range ws {
+			if !w.used && w.re.MatchString(f.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("%s: unexpected diagnostic: %s", pkgPath, f)
+			continue
+		}
+		ws[matched].used = true
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				t.Errorf("%s: %s: no diagnostic matching %q", pkgPath, key, w.re)
+			}
+		}
+	}
+}
+
+type want struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+// collectWants scans every Go file in dir for // want comments, keyed by
+// "file.go:line".
+func collectWants(dir string) (map[string][]*want, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	wants := map[string][]*want{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			patterns, err := splitQuoted(m[1])
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %w", e.Name(), i+1, err)
+			}
+			key := fmt.Sprintf("%s:%d", e.Name(), i+1)
+			for _, p := range patterns {
+				re, err := regexp.Compile(p)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want pattern %q: %w", e.Name(), i+1, p, err)
+				}
+				wants[key] = append(wants[key], &want{re: re})
+			}
+		}
+	}
+	return wants, nil
+}
+
+// splitQuoted parses a sequence of double-quoted or backquoted strings.
+func splitQuoted(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated quoted pattern in %q", s)
+			}
+			out = append(out, strings.ReplaceAll(s[1:end], `\"`, `"`))
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquoted pattern in %q", s)
+			}
+			out = append(out, s[1:1+end])
+			s = strings.TrimSpace(s[2+end:])
+		default:
+			return nil, fmt.Errorf("want patterns must be quoted, got %q", s)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty want comment")
+	}
+	return out, nil
+}

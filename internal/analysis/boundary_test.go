@@ -1,0 +1,28 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ironsafe/internal/analysis"
+	"ironsafe/internal/analysis/analysistest"
+)
+
+func TestBoundaryEnclaveImport(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Boundary, "internal/engine/teeimport")
+}
+
+func TestBoundaryRawNet(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Boundary, "internal/engine/rawnet")
+}
+
+func TestBoundarySecretPayload(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Boundary, "internal/pager/sendsecret")
+}
+
+func TestBoundaryAllowDirective(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Boundary, "internal/engine/boundaryallow")
+}
+
+func TestBoundaryTrustedSet(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Boundary, "internal/monitor/trusted")
+}

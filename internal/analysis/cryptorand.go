@@ -1,0 +1,73 @@
+package analysis
+
+// mathRandPaths are the import paths of Go's non-cryptographic PRNGs.
+var mathRandPaths = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// CryptorandAllowedPaths exempts whole packages whose use of math/rand is
+// load-bearing for correctness rather than a security hazard. Each entry
+// documents why.
+var CryptorandAllowedPaths = map[string]string{
+	// TPC-H data generation must be deterministic: dbgen semantics require
+	// that a given scale factor always yields bit-identical tables so runs
+	// are comparable and differential tests are stable. The generated
+	// values are public benchmark data, never key material, so a seeded
+	// math/rand stream is exactly the right tool and crypto/rand (which
+	// cannot be seeded) would break the invariant.
+	"internal/tpch": "seeded deterministic benchmark data generation; values are public, not key material",
+}
+
+// cryptorandCriticalPrefixes are the security-critical subtrees where weak
+// randomness is most dangerous — key generation, nonces, attestation
+// challenges, transport handshakes. The check covers the whole module, but
+// these paths get a sharper message.
+var cryptorandCriticalPrefixes = []string{
+	"internal/tee",
+	"internal/securestore",
+	"internal/transport",
+	"internal/monitor",
+}
+
+// Cryptorand flags any import of math/rand (or math/rand/v2) outside the
+// documented allowlist. In the security packages a math/rand nonce or
+// challenge is a key-recovery or replay vulnerability; elsewhere it is
+// almost always a latent one, because helpers migrate. crypto/rand is the
+// only randomness source security code may draw from.
+var Cryptorand = &Analyzer{
+	Name: "cryptorand",
+	Doc:  "flag math/rand imports; security code must use crypto/rand, and exceptions must be allowlisted",
+	Run:  runCryptorand,
+}
+
+func runCryptorand(pass *Pass) error {
+	if _, ok := CryptorandAllowedPaths[pass.Path]; ok {
+		return nil
+	}
+	critical := false
+	for _, p := range cryptorandCriticalPrefixes {
+		if hasPrefixPath(pass.Path, p) {
+			critical = true
+			break
+		}
+	}
+	for _, f := range pass.Files {
+		for path := range mathRandPaths {
+			spec := importSpec(f, path)
+			if spec == nil {
+				continue
+			}
+			if critical {
+				pass.Reportf(spec.Pos(),
+					"%s imported in security-critical package %s; nonces, keys, and challenges must come from crypto/rand",
+					path, pass.Path)
+			} else {
+				pass.Reportf(spec.Pos(),
+					"%s imported; use crypto/rand, or add this package to CryptorandAllowedPaths with a rationale if determinism is required",
+					path)
+			}
+		}
+	}
+	return nil
+}

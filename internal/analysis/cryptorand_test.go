@@ -1,0 +1,26 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ironsafe/internal/analysis"
+	"ironsafe/internal/analysis/analysistest"
+)
+
+func TestCryptorandCritical(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Cryptorand, "internal/tee/badrand")
+}
+
+func TestCryptorandNonCritical(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Cryptorand, "plainrand")
+}
+
+func TestCryptorandAllowDirective(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Cryptorand, "internal/tee/okrand")
+}
+
+func TestCryptorandAllowlistedPath(t *testing.T) {
+	// internal/tpch is on the package allowlist (seeded deterministic
+	// benchmark data), so its math/rand import reports nothing.
+	analysistest.Run(t, "testdata", analysis.Cryptorand, "internal/tpch")
+}

@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// sealerrExact are callee names whose results must always be checked: the
+// seal/open pair guards every ciphertext boundary in the system.
+var sealerrExact = map[string]bool{
+	"Seal":   true,
+	"Open":   true,
+	"Unseal": true,
+}
+
+// sealerrPrefixes extend the set to families: every Verify* (proofs, MACs,
+// certificates, Merkle roots) and every Attest* (quotes, reports).
+var sealerrPrefixes = []string{"Verify", "Attest"}
+
+// Sealerr flags security-critical calls whose results are discarded. A
+// dropped error from Seal/Open/Verify*/Attest* or rand.Read turns a
+// detected attack (or an empty entropy read) into silent acceptance — the
+// exact failure mode the TEE literature blames for most confidential-query
+// bugs. Flagged shapes: the call as a bare statement, as a go/defer
+// statement, an assignment of all results to blanks, or an assignment whose
+// final (by Go convention, error) result is blank.
+var Sealerr = &Analyzer{
+	Name: "sealerr",
+	Doc:  "flag discarded results from Seal/Open/Verify*/Attest*/rand.Read calls",
+	Run:  runSealerr,
+}
+
+// sealerrMatches reports whether a call expression targets a guarded
+// function, returning the display name.
+func sealerrMatches(f *ast.File, call *ast.CallExpr) (string, bool) {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+		// rand.Read: only the crypto/rand package qualifier counts —
+		// io.Reader.Read is not a security boundary.
+		if name == "Read" {
+			if id, ok := fun.X.(*ast.Ident); ok && id.Obj == nil {
+				if importsOf(f)[id.Name] == "crypto/rand" {
+					return "rand.Read", true
+				}
+			}
+			return "", false
+		}
+	case *ast.Ident:
+		name = fun.Name
+	default:
+		return "", false
+	}
+	if sealerrExact[name] {
+		return name, true
+	}
+	for _, p := range sealerrPrefixes {
+		if strings.HasPrefix(name, p) && len(name) > len(p) || name == p {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+func runSealerr(pass *Pass) error {
+	for _, f := range pass.Files {
+		file := f
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := stmt.X.(*ast.CallExpr); ok {
+					if name, ok := sealerrMatches(file, call); ok {
+						pass.Reportf(call.Pos(), "result of %s call discarded; seal/verify failures must be handled", name)
+					}
+				}
+			case *ast.GoStmt:
+				if name, ok := sealerrMatches(file, stmt.Call); ok {
+					pass.Reportf(stmt.Call.Pos(), "result of %s call discarded by go statement", name)
+				}
+			case *ast.DeferStmt:
+				if name, ok := sealerrMatches(file, stmt.Call); ok {
+					pass.Reportf(stmt.Call.Pos(), "result of %s call discarded by defer", name)
+				}
+			case *ast.AssignStmt:
+				if len(stmt.Rhs) != 1 {
+					return true
+				}
+				call, ok := stmt.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, ok := sealerrMatches(file, call)
+				if !ok {
+					return true
+				}
+				allBlank := true
+				for _, lhs := range stmt.Lhs {
+					if id, isIdent := lhs.(*ast.Ident); !isIdent || id.Name != "_" {
+						allBlank = false
+						break
+					}
+				}
+				if allBlank {
+					pass.Reportf(call.Pos(), "all results of %s call assigned to blank; seal/verify failures must be handled", name)
+					return true
+				}
+				// Multi-result call with the final (error) slot blanked:
+				// `n, _ := rand.Read(buf)`.
+				if len(stmt.Lhs) > 1 {
+					if id, isIdent := stmt.Lhs[len(stmt.Lhs)-1].(*ast.Ident); isIdent && id.Name == "_" {
+						pass.Reportf(call.Pos(), "error result of %s call assigned to blank; seal/verify failures must be handled", name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

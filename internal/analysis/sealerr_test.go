@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ironsafe/internal/analysis"
+	"ironsafe/internal/analysis/analysistest"
+)
+
+func TestSealerr(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Sealerr, "sealerr")
+}
+
+func TestSealerrAllowDirective(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Sealerr, "sealerrallow")
+}

@@ -1,0 +1,20 @@
+// Package boundaryallow seeds one violation per boundary sub-check, each
+// suppressed by an allow directive; the harness asserts none survive.
+package boundaryallow
+
+import (
+	//ironsafe:allow boundary -- test harness manufactures its own enclave
+	_ "ironsafe/internal/tee/sgx"
+
+	"net" //ironsafe:allow boundary -- loopback-only diagnostics listener
+)
+
+type conn struct{}
+
+func (conn) Send(msgType string, payload []byte) error { return nil }
+
+func export(c conn, huk []byte) error {
+	_ = net.Flags(0)
+	//ironsafe:allow boundary -- sealed escrow export approved by policy §7.2
+	return c.Send("escrow", huk)
+}

@@ -1,0 +1,11 @@
+// Package rawnet opens a raw socket from the untrusted query-engine
+// subtree — a plaintext exfiltration channel bypassing the AEAD transport.
+package rawnet
+
+import (
+	"net" // want `must not open raw network channels`
+)
+
+func dial() (net.Conn, error) {
+	return net.Dial("tcp", "127.0.0.1:9")
+}

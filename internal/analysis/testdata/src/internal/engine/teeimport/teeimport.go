@@ -1,0 +1,9 @@
+// Package teeimport sits in the untrusted query-engine subtree yet imports
+// an enclave-private package.
+package teeimport
+
+import (
+	_ "ironsafe/internal/tee/sgx" // want `outside the trusted set but imports enclave-private ironsafe/internal/tee/sgx`
+)
+
+func eval() {}

@@ -1,0 +1,10 @@
+// Package trusted sits inside the trusted set (internal/monitor subtree):
+// enclave-private imports are its job, so boundary must stay silent.
+package trusted
+
+import (
+	_ "ironsafe/internal/tee/sgx"
+	_ "ironsafe/internal/tee/trustzone"
+)
+
+func attest() {}

@@ -1,0 +1,20 @@
+// Package sendsecret passes enclave-identity key material to transport
+// send functions.
+package sendsecret
+
+type conn struct{}
+
+func (conn) Send(msgType string, payload []byte) error { return nil }
+func (conn) Call(method string, req, resp any) error   { return nil }
+
+type device struct {
+	HUK     []byte
+	SealKey []byte
+}
+
+func leak(c conn, d device, priv []byte) {
+	_ = c.Send("provision", d.HUK)           // want `secret key material "HUK" passed to transport Send`
+	_ = c.Call("rotate", d.SealKey, nil)     // want `secret key material "SealKey" passed to transport Call`
+	_ = c.Send("handshake", priv)            // want `secret key material "priv" passed to transport Send`
+	_ = c.Send("result", []byte("row data")) // public payloads are fine
+}

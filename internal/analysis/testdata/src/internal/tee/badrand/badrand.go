@@ -1,0 +1,15 @@
+// Package badrand draws randomness from math/rand inside a
+// security-critical subtree.
+package badrand
+
+import (
+	"math/rand" // want `math/rand imported in security-critical package internal/tee/badrand`
+)
+
+func nonce() []byte {
+	b := make([]byte, 12)
+	for i := range b {
+		b[i] = byte(rand.Intn(256))
+	}
+	return b
+}

@@ -1,0 +1,12 @@
+// Package okrand carries an allow directive on its math/rand import; the
+// cryptorand analyzer must report nothing here.
+package okrand
+
+import (
+	//ironsafe:allow cryptorand -- deterministic fault injection for enclave tests
+	"math/rand"
+)
+
+func faultPoint(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(100)
+}

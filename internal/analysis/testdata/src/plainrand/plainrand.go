@@ -1,0 +1,7 @@
+// Package plainrand imports math/rand outside the security-critical
+// subtrees: still flagged, with the softer remediation message.
+package plainrand
+
+import "math/rand" // want `use crypto/rand, or add this package to CryptorandAllowedPaths`
+
+func jitter() int { return rand.Intn(10) }

@@ -1,0 +1,15 @@
+// Package wallclockallow seeds wallclock violations that the allow
+// directive must suppress — the harness fails on any unexpected diagnostic,
+// so this file asserts suppression by declaring no wants.
+package wallclockallow
+
+import "time"
+
+func reportLatency() time.Duration {
+	start := time.Now() //ironsafe:allow wallclock -- real latency reporting
+	work()
+	//ironsafe:allow wallclock -- directive on the preceding line also counts
+	return time.Since(start)
+}
+
+func work() {}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// wallclockFuncs are the package-level time functions that read or act on
+// the real clock. time.Duration arithmetic and formatting are fine — the
+// cost model itself traffics in time.Duration — but a real clock read
+// contaminates simulated results with host-machine speed.
+var wallclockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// WallclockAllowedPaths lists module-relative package paths exempt from the
+// wallclock check wholesale. Prefer per-line //ironsafe:allow wallclock
+// directives — a package-wide exemption hides new clock reads from review.
+var WallclockAllowedPaths = map[string]bool{}
+
+// Wallclock flags real-clock reads (time.Now, time.Since, time.Sleep, ...)
+// anywhere in the module. IronSafe's benchmark results are simulated times
+// computed by internal/simtime from work counters; a stray wall-clock read
+// on an execution path silently re-couples "measured" latency to the speed
+// of whatever machine runs the suite. Genuinely real-time code (client
+// latency reporting, deployed-service timestamps) carries an allow
+// directive so every exception is visible.
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "flag real clock reads (time.Now/Since/Sleep/...) that would contaminate the simulated cost model",
+	Run:  runWallclock,
+}
+
+func runWallclock(pass *Pass) error {
+	if WallclockAllowedPaths[pass.Path] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		names := localNamesFor(f, "time")
+		if len(names) == 0 {
+			continue
+		}
+		timeNames := map[string]bool{}
+		for _, n := range names {
+			timeNames[n] = true
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !wallclockFuncs[sel.Sel.Name] {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || !timeNames[id.Name] || id.Obj != nil {
+				// id.Obj != nil means a local declaration shadows the
+				// import; that is not the time package.
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"real clock read time.%s on a simulation path; use the simtime cost model, or annotate genuinely real-time code with %s wallclock",
+				sel.Sel.Name, DirectivePrefix)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ironsafe/internal/analysis"
+	"ironsafe/internal/analysis/analysistest"
+)
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Wallclock, "wallclock")
+}
+
+func TestWallclockAllowDirective(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Wallclock, "wallclockallow")
+}

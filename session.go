@@ -89,7 +89,9 @@ func (s *Session) Query(sql string) (*QueryResult, error) {
 
 	hostBase := c.HostMeter.Snapshot()
 	storageBase := c.StorageMeter.Snapshot()
-	start := time.Now()
+	// Wall latency is reported to clients alongside the simulated cost so
+	// the two can be compared; it never feeds the cost model.
+	start := time.Now() //ironsafe:allow wallclock -- genuinely real-time latency reporting
 
 	var res *exec.Result
 	var outcome *hostengine.SplitOutcome
@@ -120,7 +122,7 @@ func (s *Session) Query(sql string) (*QueryResult, error) {
 		return nil, err
 	}
 
-	wall := time.Since(start)
+	wall := time.Since(start) //ironsafe:allow wallclock -- genuinely real-time latency reporting
 	hostDelta := c.HostMeter.Snapshot().Sub(hostBase)
 	storageDelta := c.StorageMeter.Snapshot().Sub(storageBase)
 	stats := QueryStats{
