@@ -7,7 +7,7 @@ GO ?= go
 # name explicitly. `make race` extends it to the whole module.
 RACE_PKGS = ./internal/monitor ./internal/engine ./internal/pager ./internal/simtime
 
-.PHONY: all build test race race-tier1 vet lint check clean
+.PHONY: all build test race race-tier1 vet lint chaos chaos-race check clean
 
 all: check
 
@@ -32,7 +32,16 @@ vet:
 lint:
 	$(GO) run ./cmd/ironsafe-vet ./...
 
-check: build vet lint test race-tier1
+# chaos runs the fault-injection suite (see DESIGN.md, "Fault model &
+# resilience"): seeded faults on every channel of a 2-node cluster, with
+# zero-hang / zero-wrong-result / per-seed-determinism invariants.
+chaos:
+	$(GO) test -count=1 ./internal/chaos ./internal/faultinject ./internal/resilience
+
+chaos-race:
+	$(GO) test -race -count=1 ./internal/chaos ./internal/faultinject ./internal/resilience
+
+check: build vet lint test race-tier1 chaos-race
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,250 @@
+package ironsafe
+
+import (
+	"errors"
+	"fmt"
+	"net"
+
+	"ironsafe/internal/engine"
+	"ironsafe/internal/hostengine"
+	"ironsafe/internal/pager"
+	"ironsafe/internal/resilience"
+	"ironsafe/internal/sql/exec"
+	"ironsafe/internal/storageengine"
+)
+
+// This file is the cluster's resilient runtime: per-session node providers
+// with health-tracked failover, the storage-node failure/restart lifecycle
+// (crash, restart, rollback detection, re-attestation), and the host's
+// block-fetch fallback for when every storage channel is gone.
+
+// ErrNodeNotReadmitted reports a restarted node that failed the readmission
+// checks (integrity sweep or re-attestation) and stays quarantined.
+var ErrNodeNotReadmitted = errors.New("ironsafe: storage node failed readmission")
+
+// Health exposes the cluster's per-node health tracker (circuit state, down
+// set) for operators and tests.
+func (c *Cluster) Health() *resilience.Tracker { return c.health }
+
+// NodeDown reports whether a storage node is currently failed/quarantined.
+func (c *Cluster) NodeDown(id string) bool {
+	c.nodeMu.Lock()
+	defer c.nodeMu.Unlock()
+	return c.down[id]
+}
+
+// KillStorage models a node crash: the node stops accepting offloads, its
+// monitor registration is revoked (so new authorizations exclude it), and
+// the health tracker marks it down. Queries in flight fail over to surviving
+// nodes.
+func (c *Cluster) KillStorage(id string) {
+	c.nodeMu.Lock()
+	already := c.down[id]
+	c.down[id] = true
+	c.nodeMu.Unlock()
+	if already {
+		return
+	}
+	c.health.MarkDown(id)
+	c.Monitor.RevokeStorage(id)
+}
+
+// MediumSnapshot captures a storage node's raw medium for later rollback
+// simulation (an attacker or a botched restore putting stale bytes back).
+type MediumSnapshot struct {
+	node   string
+	blocks map[uint32][]byte
+}
+
+// SnapshotStorage captures the node's current medium state.
+func (c *Cluster) SnapshotStorage(id string) (*MediumSnapshot, error) {
+	srv := c.storageByID(id)
+	if srv == nil {
+		return nil, fmt.Errorf("ironsafe: unknown storage node %q", id)
+	}
+	return &MediumSnapshot{node: id, blocks: srv.Medium().SnapshotBlocks()}, nil
+}
+
+// RestartStorage brings a killed node back up. If rollback is non-nil the
+// node restarts from that (stale) medium snapshot — modeling a restore from
+// an old backup or a rollback attack. The node is NOT readmitted to the
+// cluster here: ReattestStorage must succeed first.
+func (c *Cluster) RestartStorage(id string, rollback *MediumSnapshot) error {
+	srv := c.storageByID(id)
+	if srv == nil {
+		return fmt.Errorf("ironsafe: unknown storage node %q", id)
+	}
+	if rollback != nil {
+		if rollback.node != id {
+			return fmt.Errorf("ironsafe: snapshot of %q cannot restore %q", rollback.node, id)
+		}
+		srv.Medium().RestoreBlocks(rollback.blocks)
+	}
+	return nil
+}
+
+// ReattestStorage runs the readmission protocol for a restarted node: the
+// secure store's full integrity sweep (which catches a rolled-back medium
+// against the RPMB anchor), then a fresh monitor attestation (challenge-
+// response over the trusted-boot chain). Only when both pass does the node
+// rejoin the offload candidate set. On failure the node stays down.
+func (c *Cluster) ReattestStorage(id string) error {
+	srv := c.storageByID(id)
+	if srv == nil {
+		return fmt.Errorf("ironsafe: unknown storage node %q", id)
+	}
+	// Integrity/freshness sweep first: a node restarted with stale state
+	// must be refused before it can serve a single offload.
+	if err := srv.VerifyStore(); err != nil {
+		return fmt.Errorf("%w: %s: integrity sweep: %w", ErrNodeNotReadmitted, id, err)
+	}
+	if err := c.Monitor.RegisterStorage("ironsafe-vendor", &storageAdapter{srv}); err != nil {
+		return fmt.Errorf("%w: %s: attestation: %w", ErrNodeNotReadmitted, id, err)
+	}
+	c.nodeMu.Lock()
+	delete(c.down, id)
+	c.nodeMu.Unlock()
+	c.health.MarkUp(id)
+	return nil
+}
+
+// sessionProvider hands the host engine live storage nodes for one query,
+// with health gating and fresh channels per attempt. It implements
+// hostengine.NodeProvider.
+type sessionProvider struct {
+	c          *Cluster
+	authorized []string // monitor-authorized node IDs, in proof order
+	sessionID  string
+	sessionKey []byte
+
+	// cached live channels, replaced on failure (an AEAD channel that saw
+	// a fault is desynchronized and must be rebuilt, not reused).
+	cached map[string]hostengine.StorageNode
+}
+
+func (c *Cluster) newSessionProvider(authorized []string, sessionID string, sessionKey []byte) *sessionProvider {
+	return &sessionProvider{
+		c:          c,
+		authorized: authorized,
+		sessionID:  sessionID,
+		sessionKey: sessionKey,
+		cached:     map[string]hostengine.StorageNode{},
+	}
+}
+
+// CandidateIDs implements hostengine.NodeProvider: the authorized nodes not
+// currently down, in the monitor's (deterministic) proof order.
+func (p *sessionProvider) CandidateIDs() []string {
+	out := make([]string, 0, len(p.authorized))
+	for _, id := range p.authorized {
+		if !p.c.NodeDown(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Connect implements hostengine.NodeProvider.
+func (p *sessionProvider) Connect(id string) (hostengine.StorageNode, error) {
+	if p.c.NodeDown(id) {
+		return nil, fmt.Errorf("%w: %s", resilience.ErrNodeDown, id)
+	}
+	if !p.c.health.Allow(id) {
+		return nil, fmt.Errorf("%w: %s", resilience.ErrCircuitOpen, id)
+	}
+	if n, ok := p.cached[id]; ok {
+		return n, nil
+	}
+	srv := p.c.storageByID(id)
+	if srv == nil {
+		return nil, fmt.Errorf("ironsafe: unknown storage node %q", id)
+	}
+	node, err := p.c.connectNode(srv, id, p.sessionID, p.sessionKey)
+	if err != nil {
+		p.c.health.Report(id, false)
+		return nil, err
+	}
+	p.cached[id] = node
+	return node, nil
+}
+
+// Report implements hostengine.NodeProvider. A failure drops the cached
+// channel so the next attempt handshakes a fresh one.
+func (p *sessionProvider) Report(id string, ok bool) {
+	p.c.health.Report(id, ok)
+	if !ok {
+		if n, cached := p.cached[id]; cached {
+			if closer, isCloser := n.(interface{ Close() error }); isCloser {
+				closer.Close()
+			}
+			delete(p.cached, id)
+		}
+	}
+}
+
+// close tears down the provider's live channels at end of query.
+func (p *sessionProvider) close() {
+	for id, n := range p.cached {
+		if closer, ok := n.(interface{ Close() error }); ok {
+			closer.Close()
+		}
+		delete(p.cached, id)
+	}
+}
+
+// connectNode builds one StorageNode: a direct in-process adapter by
+// default, or — with ChannelTransport — a real monitor-keyed secure channel
+// over an in-process pipe speaking the full wire protocol, optionally
+// wrapped by the fault-injection hook.
+func (c *Cluster) connectNode(srv *storageengine.Server, id, sessionID string, sessionKey []byte) (hostengine.StorageNode, error) {
+	if !c.cfg.ChannelTransport {
+		return &hostengine.LocalNode{Server: srv, HostMeter: c.HostMeter, StorageMeter: c.StorageMeter}, nil
+	}
+	hostSide, storageSide := net.Pipe()
+	go srv.ServeConn(storageSide)
+	var conn net.Conn = hostSide
+	if c.cfg.ConnWrapper != nil {
+		conn = c.cfg.ConnWrapper(id, hostSide)
+	}
+	var node *hostengine.RemoteNode
+	err := resilience.WithConnDeadline(conn, c.res.HandshakeTimeout, func() error {
+		var err error
+		node, err = hostengine.NewRemoteNode(conn, id, sessionID, sessionKey, c.HostMeter)
+		return err
+	})
+	if err != nil {
+		storageSide.Close()
+		return nil, fmt.Errorf("ironsafe: channel to %s: %w", id, err)
+	}
+	if c.res.IOTimeout > 0 {
+		node.Conn.SetIOTimeout(c.res.IOTimeout)
+	}
+	return node, nil
+}
+
+// hostFallbackExecute is graceful degradation for VanillaCS: when every
+// storage channel is gone, the host mounts a surviving node's medium over
+// the block-fetch path (the hons access path) and runs the whole query
+// locally. IronSafe (scs) mode has no such fallback — its medium is
+// encrypted under storage-node keys the host by design does not hold, so
+// scs survives node loss only through surviving replicas.
+func (c *Cluster) hostFallbackExecute(sqlText string) (*exec.Result, error) {
+	var srv *storageengine.Server
+	for _, s := range c.Storage {
+		id, _, _ := s.Info()
+		if !c.NodeDown(id) {
+			srv = s
+			break
+		}
+	}
+	if srv == nil {
+		return nil, fmt.Errorf("%w: no surviving storage medium for host fallback", ErrNoStorage)
+	}
+	remote := &hostengine.RemoteDevice{Fetcher: srv, HostMeter: c.HostMeter}
+	store := pager.NewPager(remote, c.HostMeter, 256)
+	db, err := engine.Open(store, c.HostMeter)
+	if err != nil {
+		return nil, fmt.Errorf("ironsafe: host fallback mount: %w", err)
+	}
+	return c.Host.ExecuteLocal(db, sqlText)
+}

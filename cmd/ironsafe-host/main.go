@@ -18,11 +18,13 @@ import (
 	"net"
 	"os"
 	"strings"
+	"time"
 
 	"ironsafe/internal/ctl"
 	"ironsafe/internal/hostengine"
 	"ironsafe/internal/monitor"
 	"ironsafe/internal/partition"
+	"ironsafe/internal/resilience"
 	"ironsafe/internal/schema"
 	"ironsafe/internal/simtime"
 	"ironsafe/internal/tee/sgx"
@@ -158,6 +160,7 @@ func main() {
 	host.SetSchemas(sm)
 
 	cs := ctl.NewServer(key[:])
+	hardenCtlServer(cs)
 	cs.Handle("query", func(req []byte) (any, error) {
 		var r queryReq
 		if err := json.Unmarshal(req, &r); err != nil {
@@ -217,4 +220,18 @@ func main() {
 func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "ironsafe-host: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// hardenCtlServer applies the deployment hardening knobs (kept in sync
+// across the ironsafe-monitor / ironsafe-host / ironsafe-storage binaries):
+// diagnostics to stderr, bounded concurrent connections, a handshake
+// deadline per accepted connection, and accept-error backoff.
+func hardenCtlServer(s *ctl.Server) {
+	s.Logf = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "ironsafe-host: "+format+"\n", args...)
+	}
+	s.MaxConns = 128
+	s.HandshakeTimeout = 3 * time.Second
+	s.AcceptBackoff = 100 * time.Millisecond
+	s.Sleep = resilience.RealSleep
 }

@@ -23,6 +23,7 @@ import (
 	"ironsafe/internal/ctl"
 	"ironsafe/internal/monitor"
 	"ironsafe/internal/policy"
+	"ironsafe/internal/resilience"
 	"ironsafe/internal/tee/sgx"
 	"ironsafe/internal/tee/trustzone"
 )
@@ -138,6 +139,7 @@ func main() {
 	fmt.Printf("storage %s attested (normal world %s)\n", hello.ID, probe.NormalWorld)
 
 	cs := ctl.NewServer(key[:])
+	hardenCtlServer(cs)
 	cs.Handle("register-platform", func(req []byte) (any, error) {
 		var r registerPlatformReq
 		if err := json.Unmarshal(req, &r); err != nil {
@@ -208,4 +210,18 @@ func main() {
 func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "ironsafe-monitor: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// hardenCtlServer applies the deployment hardening knobs (kept in sync
+// across the ironsafe-monitor / ironsafe-host / ironsafe-storage binaries):
+// diagnostics to stderr, bounded concurrent connections, a handshake
+// deadline per accepted connection, and accept-error backoff.
+func hardenCtlServer(s *ctl.Server) {
+	s.Logf = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "ironsafe-monitor: "+format+"\n", args...)
+	}
+	s.MaxConns = 128
+	s.HandshakeTimeout = 3 * time.Second
+	s.AcceptBackoff = 100 * time.Millisecond
+	s.Sleep = resilience.RealSleep
 }

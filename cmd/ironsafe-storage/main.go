@@ -17,8 +17,10 @@ import (
 	"net"
 	"os"
 	"strings"
+	"time"
 
 	"ironsafe/internal/ctl"
+	"ironsafe/internal/resilience"
 	"ironsafe/internal/simtime"
 	"ironsafe/internal/storageengine"
 	"ironsafe/internal/tee/trustzone"
@@ -89,6 +91,7 @@ func main() {
 
 	key := sha256.Sum256([]byte(*psk))
 	cs := ctl.NewServer(key[:])
+	hardenCtlServer(cs)
 	cs.Handle("hello", func([]byte) (any, error) {
 		nid, loc, fwv := srv.Info()
 		return helloResp{ID: nid, Location: loc, FW: fwv, Vendor: "ironsafe-vendor", ROTPK: vendor.ROTPK}, nil
@@ -158,4 +161,18 @@ func main() {
 func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "ironsafe-storage: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// hardenCtlServer applies the deployment hardening knobs (kept in sync
+// across the ironsafe-monitor / ironsafe-host / ironsafe-storage binaries):
+// diagnostics to stderr, bounded concurrent connections, a handshake
+// deadline per accepted connection, and accept-error backoff.
+func hardenCtlServer(s *ctl.Server) {
+	s.Logf = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "ironsafe-storage: "+format+"\n", args...)
+	}
+	s.MaxConns = 128
+	s.HandshakeTimeout = 3 * time.Second
+	s.AcceptBackoff = 100 * time.Millisecond
+	s.Sleep = resilience.RealSleep
 }

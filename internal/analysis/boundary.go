@@ -24,6 +24,10 @@ var boundaryTrustedPrefixes = []string{
 	"internal/securestore",
 	"internal/storageengine",
 	"internal/hostengine",
+	// faultinject wraps the attestation path (it must corrupt reports the
+	// monitor then rejects), so it sees the report types — never key
+	// material.
+	"internal/faultinject",
 	"cmd",
 }
 
@@ -38,6 +42,13 @@ var netTrustedPrefixes = []string{
 	"internal/ctl",
 	"internal/hostengine",
 	"internal/storageengine",
+	// resilience wraps dials/deadlines for the channel layers; faultinject
+	// wraps net.Conn to inject faults beneath the AEAD boundary; chaos
+	// composes the two (it installs fault-wrapped conns into clusters but
+	// never performs raw I/O itself — rawnet still applies to it).
+	"internal/resilience",
+	"internal/faultinject",
+	"internal/chaos",
 	"cmd",
 }
 

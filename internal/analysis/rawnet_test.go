@@ -1,0 +1,22 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ironsafe/internal/analysis"
+	"ironsafe/internal/analysis/analysistest"
+)
+
+func TestRawnetNakedDialAndConnIO(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Rawnet, "internal/ctl/nakeddial")
+}
+
+func TestRawnetAllowDirective(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Rawnet, "internal/ctl/rawnetallow")
+}
+
+// TestRawnetExemptWrapper pins that the wrapper layers themselves are
+// exempt: the same violations under internal/resilience report nothing.
+func TestRawnetExemptWrapper(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Rawnet, "internal/resilience/wrapperexempt")
+}

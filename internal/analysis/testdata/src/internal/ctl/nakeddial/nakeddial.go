@@ -1,0 +1,29 @@
+// Package nakeddial dials and reads raw connections from a net-trusted
+// package (internal/ctl passes the boundary check) — exactly the hole the
+// rawnet analyzer closes: no timeout on the dial, no deadline on the read.
+package nakeddial
+
+import (
+	"net"
+	"time"
+)
+
+func dial() (net.Conn, error) {
+	return net.Dial("tcp", "127.0.0.1:9") // want `naked net.Dial`
+}
+
+func dialTimeout() (net.Conn, error) {
+	return net.DialTimeout("tcp", "127.0.0.1:9", time.Second) // want `naked net.DialTimeout`
+}
+
+func read(conn net.Conn, buf []byte) (int, error) {
+	return conn.Read(buf) // want `raw conn.Read outside the channel wrappers`
+}
+
+type peer struct {
+	conn net.Conn
+}
+
+func (p *peer) send(b []byte) (int, error) {
+	return p.conn.Write(b) // want `raw conn.Write outside the channel wrappers`
+}

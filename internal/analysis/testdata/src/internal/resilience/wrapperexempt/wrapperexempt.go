@@ -1,0 +1,14 @@
+// Package wrapperexempt holds the same raw calls as nakeddial but lives
+// under internal/resilience — the wrapper layer itself — so rawnet must
+// report nothing (no wants in this file).
+package wrapperexempt
+
+import "net"
+
+func dial() (net.Conn, error) {
+	return net.Dial("tcp", "127.0.0.1:9")
+}
+
+func read(conn net.Conn, buf []byte) (int, error) {
+	return conn.Read(buf)
+}

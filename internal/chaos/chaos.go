@@ -1,0 +1,401 @@
+// Package chaos is IronSafe's fault-injection test harness: it drives a
+// multi-node cluster through a long sequence of policy-authorized queries
+// while a deterministic fault plan attacks the channels beneath the AEAD
+// boundary — connection resets, stalls, corrupted and truncated frames,
+// slow peers, whole-node crashes, and restart-with-rollback — and checks the
+// three resilience invariants the paper's deployment model needs:
+//
+//  1. no query ever hangs (deadlines + circuit breaking bound every path),
+//  2. no query ever returns a wrong result (a faulted query either fails
+//     over to a correct result or fails fast with a typed error), and
+//  3. the whole run is byte-for-byte reproducible for a fixed seed.
+package chaos
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"ironsafe"
+	"ironsafe/internal/faultinject"
+	"ironsafe/internal/hostengine"
+	"ironsafe/internal/resilience"
+	"ironsafe/internal/sql/exec"
+	"ironsafe/internal/tpch"
+	"ironsafe/internal/transport"
+)
+
+// Config scripts one chaos run.
+type Config struct {
+	// Seed drives every fault decision; same seed, same run.
+	Seed uint64
+	// Queries is how many queries to submit (rotating through QueryMix).
+	Queries int
+	// Mode is the cluster configuration under attack.
+	Mode ironsafe.Mode
+	// Nodes is the storage node count (0 means 2).
+	Nodes int
+	// Rules arm the fault classes; see DefaultRules.
+	Rules []faultinject.Rule
+	// CrashRestartAfter is how many queries after a crash the node is
+	// restarted and re-attested (0 means 3).
+	CrashRestartAfter int
+	// RollbackAt scripts a kill + restart-with-stale-medium drill before
+	// that query index; negative disables it.
+	RollbackAt int
+	// QueryTimeout is the per-query hang watchdog (0 means 30s).
+	QueryTimeout time.Duration
+	// IOTimeout bounds each Send/Recv so stalled peers fail fast
+	// (0 means 250ms).
+	IOTimeout time.Duration
+	// ScaleFactor is the TPC-H volume (0 means 0.001).
+	ScaleFactor float64
+}
+
+// QueryMix is the rotation of TPC-H queries the run submits — the subset the
+// split executor supports end to end.
+var QueryMix = []int{1, 3, 6, 13}
+
+// clientKey identifies the chaos client; accessPolicy grants it reads —
+// faults must not bypass the policy path, so every chaos query runs under a
+// real authorization.
+const (
+	clientKey    = "chaosclient"
+	accessPolicy = "read :- sessionKeyIs(chaosclient)"
+)
+
+// DefaultRules arm every channel fault class at low, steady rates, letting
+// handshakes mostly complete (After) so faults spread across the protocol
+// rather than all landing on byte one.
+func DefaultRules() []faultinject.Rule {
+	return []faultinject.Rule{
+		{Site: ":read", Class: faultinject.Corrupt, Prob: 0.02},
+		{Site: ":read", Class: faultinject.Truncate, Prob: 0.015},
+		{Site: ":write", Class: faultinject.Reset, Prob: 0.02},
+		{Site: ":read", Class: faultinject.Stall, Prob: 0.01, After: 4},
+		{Site: ":read", Class: faultinject.Slow, Prob: 0.05},
+		{Site: "storage-01", Class: faultinject.Crash, Prob: 0.004, After: 8, MaxCount: 1},
+	}
+}
+
+// Outcome is one query's normalized result.
+type Outcome struct {
+	Query int
+	SQL   int // index into QueryMix
+	OK    bool
+	// Class is the normalized failure class ("ok" on success) — typed, so
+	// it is stable across runs.
+	Class string
+	// RowDigest is the canonical encoding digest of the result rows.
+	RowDigest string
+	Failovers int
+	Fallback  bool
+}
+
+// Report is the full run record.
+type Report struct {
+	Outcomes []Outcome
+	// Classes are the distinct fault classes actually injected.
+	Classes []faultinject.Class
+	// Digest commits to every outcome plus the fault trace: two runs with
+	// the same Config must produce the same digest.
+	Digest string
+	// Hangs counts watchdog firings (must be zero).
+	Hangs int
+	// WrongResults counts successful queries whose rows differed from the
+	// fault-free reference (must be zero).
+	WrongResults int
+	// Succeeded / Failed partition the outcomes.
+	Succeeded, Failed int
+	// Untyped counts failures that did not map to a known error class
+	// (must be zero: every failure is fail-fast AND typed).
+	Untyped int
+}
+
+func (c *Config) fill() {
+	if c.Nodes == 0 {
+		c.Nodes = 2
+	}
+	if c.CrashRestartAfter == 0 {
+		c.CrashRestartAfter = 3
+	}
+	if c.QueryTimeout == 0 {
+		c.QueryTimeout = 30 * time.Second
+	}
+	if c.IOTimeout == 0 {
+		c.IOTimeout = 250 * time.Millisecond
+	}
+	if c.ScaleFactor == 0 {
+		c.ScaleFactor = 0.001
+	}
+	if c.Rules == nil {
+		c.Rules = DefaultRules()
+	}
+}
+
+// classify maps an error to its stable class token.
+func classify(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ironsafe.ErrNodeNotReadmitted):
+		return "not-readmitted"
+	case errors.Is(err, hostengine.ErrAllNodesFailed):
+		return "all-nodes-failed"
+	case errors.Is(err, ironsafe.ErrNoStorage):
+		return "no-storage"
+	case errors.Is(err, resilience.ErrCircuitOpen):
+		return "circuit-open"
+	case errors.Is(err, resilience.ErrNodeDown):
+		return "node-down"
+	case errors.Is(err, resilience.ErrExhausted):
+		return "exhausted"
+	case errors.Is(err, transport.ErrAuth):
+		return "channel-auth"
+	case errors.Is(err, transport.ErrFrameTooLarge):
+		return "channel-framing"
+	case errors.Is(err, faultinject.ErrInjected):
+		return "injected"
+	default:
+		return "untyped"
+	}
+}
+
+func digestRows(res *exec.Result) string {
+	blob, err := exec.EncodeResult(res)
+	if err != nil {
+		return "encode-error"
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:8])
+}
+
+func newCluster(cfg *Config, plan *faultinject.Plan) (*ironsafe.Cluster, error) {
+	rc := resilience.Config{
+		HandshakeTimeout: 500 * time.Millisecond,
+		IOTimeout:        cfg.IOTimeout,
+		// Sleep stays nil: retries back off virtually, so the chaos run's
+		// pacing never depends on the wall clock.
+	}
+	ic := ironsafe.Config{
+		Mode:         cfg.Mode,
+		StorageNodes: cfg.Nodes,
+		Resilience:   &rc,
+	}
+	if plan != nil {
+		ic.ChannelTransport = true
+		ic.ConnWrapper = func(node string, conn net.Conn) net.Conn {
+			return faultinject.WrapConn(conn, node, plan)
+		}
+	}
+	return ironsafe.NewCluster(ic)
+}
+
+// Run executes one scripted chaos run and returns its report.
+func Run(cfg Config) (*Report, error) {
+	cfg.fill()
+	data := tpch.Generate(cfg.ScaleFactor)
+
+	// Reference run: same data, same mode, no faults. Defines the correct
+	// rows for every query in the mix.
+	ref, err := newCluster(&cfg, nil)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: reference cluster: %w", err)
+	}
+	if err := ref.LoadTPCHData(data); err != nil {
+		return nil, err
+	}
+	if err := ref.SetAccessPolicy(accessPolicy); err != nil {
+		return nil, err
+	}
+	refSession := ref.NewSession(clientKey)
+	expected := make([]string, len(QueryMix))
+	for i, qn := range QueryMix {
+		r, err := refSession.Query(tpch.Queries[qn])
+		if err != nil {
+			return nil, fmt.Errorf("chaos: reference q%d: %w", qn, err)
+		}
+		expected[i] = digestRows(r.Result)
+	}
+
+	// Cluster under attack.
+	plan := faultinject.NewPlan(cfg.Seed, cfg.Rules...)
+	c, err := newCluster(&cfg, plan)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: cluster: %w", err)
+	}
+	if err := c.LoadTPCHData(data); err != nil {
+		return nil, err
+	}
+	if err := c.SetAccessPolicy(accessPolicy); err != nil {
+		return nil, err
+	}
+
+	// Evolve the secure media past load state so a rollback to the
+	// pre-marker snapshot is genuinely stale (SELECT-only workloads would
+	// otherwise leave nothing for the freshness check to catch). Applied
+	// identically on every node to keep replicas equivalent.
+	stale := make(map[string]*ironsafe.MediumSnapshot)
+	for _, id := range nodeIDs(cfg.Nodes) {
+		snap, err := c.SnapshotStorage(id)
+		if err != nil {
+			return nil, err
+		}
+		stale[id] = snap
+	}
+	if err := markMedia(c); err != nil {
+		return nil, err
+	}
+
+	// Crash scheduling: the plan's crash callback downs the node; the run
+	// loop restarts + re-attests it CrashRestartAfter queries later.
+	restartAt := map[string]int{}
+	queryIdx := 0
+	plan.OnCrash = func(node string) {
+		c.KillStorage(node)
+		if _, scheduled := restartAt[node]; !scheduled {
+			restartAt[node] = queryIdx + cfg.CrashRestartAfter
+		}
+	}
+
+	rep := &Report{}
+	session := c.NewSession(clientKey)
+	for queryIdx = 0; queryIdx < cfg.Queries; queryIdx++ {
+		// Scripted rollback drill: kill a node, restart it from the stale
+		// snapshot, and require readmission to refuse it.
+		if queryIdx == cfg.RollbackAt {
+			if err := rollbackDrill(c, plan, stale); err != nil {
+				return nil, err
+			}
+		}
+		// Due restarts: node comes back, but only re-enters the offload
+		// candidate set after the integrity sweep and re-attestation pass.
+		for node, due := range restartAt {
+			if queryIdx >= due {
+				delete(restartAt, node)
+				if err := c.RestartStorage(node, nil); err != nil {
+					return nil, err
+				}
+				if err := c.ReattestStorage(node); err != nil {
+					return nil, fmt.Errorf("chaos: readmitting %s: %w", node, err)
+				}
+			}
+		}
+
+		mix := queryIdx % len(QueryMix)
+		out := Outcome{Query: queryIdx, SQL: mix}
+		type qr struct {
+			res *ironsafe.QueryResult
+			err error
+		}
+		ch := make(chan qr, 1)
+		go func() {
+			r, err := session.Query(tpch.Queries[QueryMix[mix]])
+			ch <- qr{r, err}
+		}()
+		select {
+		case r := <-ch:
+			out.Class = classify(r.err)
+			if r.err == nil {
+				out.OK = true
+				out.RowDigest = digestRows(r.res.Result)
+				out.Failovers = r.res.Stats.Failovers
+				out.Fallback = r.res.Stats.HostFallback
+				rep.Succeeded++
+				if out.RowDigest != expected[mix] {
+					rep.WrongResults++
+				}
+			} else {
+				rep.Failed++
+				if out.Class == "untyped" {
+					rep.Untyped++
+				}
+			}
+		case <-time.After(cfg.QueryTimeout): //ironsafe:allow wallclock -- hang watchdog, the invariant under test
+			out.Class = "hang"
+			rep.Hangs++
+		}
+		rep.Outcomes = append(rep.Outcomes, out)
+	}
+
+	rep.Classes = plan.ClassesInjected()
+	rep.Digest = digestRun(rep, plan)
+	return rep, nil
+}
+
+// nodeIDs mirrors the cluster's deterministic node naming.
+func nodeIDs(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("storage-%02d", i+1)
+	}
+	return out
+}
+
+// markMedia writes a marker table on every node so the media diverge from
+// their load-time snapshots.
+func markMedia(c *ironsafe.Cluster) error {
+	for _, s := range c.Storage {
+		if _, err := s.DB().Execute("CREATE TABLE chaos_epoch (n INTEGER)"); err != nil {
+			return err
+		}
+		if _, err := s.DB().Execute("INSERT INTO chaos_epoch VALUES (1)"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rollbackDrill kills the last node, restarts it from its stale pre-marker
+// snapshot, and verifies readmission refuses it; the node then restarts from
+// honest state and rejoins.
+func rollbackDrill(c *ironsafe.Cluster, plan *faultinject.Plan, stale map[string]*ironsafe.MediumSnapshot) error {
+	ids := nodeIDs(len(c.Storage))
+	victim := ids[len(ids)-1]
+	good, err := c.SnapshotStorage(victim)
+	if err != nil {
+		return err
+	}
+	c.KillStorage(victim)
+	plan.Record(faultinject.Crash, "drill:"+victim)
+	if err := c.RestartStorage(victim, stale[victim]); err != nil {
+		return err
+	}
+	if err := c.ReattestStorage(victim); err == nil {
+		if c.Mode() == ironsafe.IronSafe || c.Mode() == ironsafe.StorageOnlySecure {
+			return errors.New("chaos: rolled-back node was readmitted")
+		}
+		// Non-secure stores cannot detect rollback; restore honest state
+		// and continue.
+	} else if !errors.Is(err, ironsafe.ErrNodeNotReadmitted) {
+		return fmt.Errorf("chaos: rollback refusal had wrong type: %w", err)
+	}
+	plan.Record(faultinject.Rollback, "drill:"+victim)
+	// Honest restart: back to the current state, readmission must pass.
+	if err := c.RestartStorage(victim, good); err != nil {
+		return err
+	}
+	if err := c.ReattestStorage(victim); err != nil {
+		return fmt.Errorf("chaos: honest restart refused: %w", err)
+	}
+	return nil
+}
+
+// digestRun commits to the run: every outcome line plus the fault trace.
+func digestRun(rep *Report, plan *faultinject.Plan) string {
+	var b strings.Builder
+	for _, o := range rep.Outcomes {
+		fmt.Fprintf(&b, "q%03d mix=%d ok=%t class=%s rows=%s failovers=%d fallback=%t\n",
+			o.Query, o.SQL, o.OK, o.Class, o.RowDigest, o.Failovers, o.Fallback)
+	}
+	for _, line := range plan.Trace() {
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}

@@ -7,10 +7,13 @@ package ctl
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
+	"ironsafe/internal/resilience"
 	"ironsafe/internal/transport"
 )
 
@@ -22,11 +25,42 @@ type Server struct {
 	psk      []byte
 	mu       sync.RWMutex
 	handlers map[string]Handler
+
+	// Logf, when set, receives diagnostics the accept/dispatch loop would
+	// otherwise have to swallow: failed handshakes, panicking handlers,
+	// shed connections. Nil discards them.
+	Logf func(format string, args ...any)
+
+	// MaxConns bounds concurrently served connections; excess connections
+	// are closed immediately (load shedding) rather than queued without
+	// bound. Zero means unlimited.
+	MaxConns int
+
+	// HandshakeTimeout bounds the secure-transport handshake per accepted
+	// connection so a silent client cannot pin a serving goroutine forever.
+	// Zero disables the bound.
+	HandshakeTimeout time.Duration
+
+	// AcceptBackoff is the pause after a transient Accept error (e.g.
+	// EMFILE) before retrying, preventing a hot error loop. Sleep is the
+	// injectable pacer for it; nil skips the pause (tests), and binaries
+	// should set resilience.RealSleep.
+	AcceptBackoff time.Duration
+	Sleep         func(time.Duration)
+
+	semOnce sync.Once
+	sem     chan struct{}
 }
 
 // NewServer creates a control server bound to the provisioning key.
 func NewServer(psk []byte) *Server {
 	return &Server{psk: psk, handlers: map[string]Handler{}}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
 }
 
 // Handle registers a command handler.
@@ -36,22 +70,74 @@ func (s *Server) Handle(cmd string, h Handler) {
 	s.handlers[cmd] = h
 }
 
-// Serve accepts control connections until the listener closes.
+// acquire reserves a connection slot, reporting false when the server is at
+// MaxConns and the connection should be shed.
+func (s *Server) acquire() bool {
+	if s.MaxConns <= 0 {
+		return true
+	}
+	s.semOnce.Do(func() { s.sem = make(chan struct{}, s.MaxConns) })
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Server) release() {
+	if s.MaxConns > 0 {
+		<-s.sem
+	}
+}
+
+// Serve accepts control connections until the listener closes. Transient
+// accept errors back off and retry; only a dead listener ends the loop.
 func (s *Server) Serve(ln net.Listener) error {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			if isTransient(err) {
+				s.logf("ctl: transient accept error, backing off: %v", err)
+				if s.Sleep != nil && s.AcceptBackoff > 0 {
+					s.Sleep(s.AcceptBackoff)
+				}
+				continue
+			}
 			return err
 		}
-		go s.handleConn(conn)
+		if !s.acquire() {
+			s.logf("ctl: shedding connection from %v: at MaxConns=%d", conn.RemoteAddr(), s.MaxConns)
+			conn.Close()
+			continue
+		}
+		go func() {
+			defer s.release()
+			s.handleConn(conn)
+		}()
 	}
+}
+
+// isTransient reports whether an accept error is worth retrying.
+func isTransient(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 func (s *Server) handleConn(conn net.Conn) {
 	defer conn.Close()
+	if s.HandshakeTimeout > 0 {
+		conn.SetDeadline(time.Now().Add(s.HandshakeTimeout)) //ironsafe:allow wallclock -- bounding the handshake against silent clients
+	}
 	sc, err := transport.Server(conn, s.psk, nil)
 	if err != nil {
+		// A failed handshake is a signal — misprovisioned peer, replayed
+		// session key, or active attack — never silently discard it.
+		s.logf("ctl: handshake with %v failed: %v", conn.RemoteAddr(), err)
 		return
+	}
+	if s.HandshakeTimeout > 0 {
+		conn.SetDeadline(time.Time{})
 	}
 	defer sc.Close()
 	for {
@@ -66,7 +152,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			sc.Send("error", []byte("unknown command "+cmd))
 			continue
 		}
-		out, err := h(payload)
+		out, err := s.dispatch(cmd, h, payload)
 		if err != nil {
 			sc.Send("error", []byte(err.Error()))
 			continue
@@ -80,25 +166,55 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 }
 
+// dispatch runs a handler, converting a panic into an error response so one
+// bad request cannot take down the control plane.
+func (s *Server) dispatch(cmd string, h Handler, payload []byte) (out any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.logf("ctl: handler %q panicked: %v", cmd, r)
+			err = fmt.Errorf("ctl: internal error handling %q", cmd)
+		}
+	}()
+	return h(payload)
+}
+
 // Client is one control connection.
 type Client struct {
 	mu sync.Mutex
 	sc *transport.SecureConn
 }
 
-// Dial connects a control client.
+// Dial connects a control client with default resilience.
 func Dial(addr string, psk []byte) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialResilient(addr, psk, resilience.Config{Sleep: resilience.RealSleep}.WithDefaults())
+}
+
+// DialResilient connects a control client with retrying, deadline-bounded
+// dial and handshake per the supplied resilience config.
+func DialResilient(addr string, psk []byte, cfg resilience.Config) (*Client, error) {
+	conn, err := resilience.DialTCP(addr, cfg)
 	if err != nil {
 		return nil, err
 	}
-	sc, err := transport.Client(conn, psk, nil)
-	if err != nil {
+	var sc *transport.SecureConn
+	hsErr := resilience.WithConnDeadline(conn, cfg.HandshakeTimeout, func() error {
+		var err error
+		sc, err = transport.Client(conn, psk, nil)
+		return err
+	})
+	if hsErr != nil {
 		conn.Close()
-		return nil, err
+		return nil, fmt.Errorf("ctl: handshake with %s: %w", addr, hsErr)
+	}
+	if cfg.IOTimeout > 0 {
+		sc.SetIOTimeout(cfg.IOTimeout)
 	}
 	return &Client{sc: sc}, nil
 }
+
+// NewClient wraps an already-established secure channel (used by tests and
+// in-process deployments).
+func NewClient(sc *transport.SecureConn) *Client { return &Client{sc: sc} }
 
 // Call sends one command and decodes the JSON response into resp (which may
 // be nil to discard).

@@ -1,0 +1,118 @@
+package faultinject
+
+import (
+	"time"
+
+	"ironsafe/internal/pager"
+	"ironsafe/internal/tee/trustzone"
+)
+
+// Device wraps a pager.BlockDevice and injects faults into block I/O: Reset
+// and Crash surface as I/O errors, Corrupt flips a bit in the data read
+// (the secure store's MAC/Merkle verification must catch it), Slow delays
+// the access. Stall/Truncate make no sense at block granularity and are
+// treated as Reset.
+type Device struct {
+	inner pager.BlockDevice
+	node  string
+	plan  *Plan
+}
+
+// WrapDevice instruments dev; sites are "device:<node>:read" and
+// "device:<node>:write".
+func WrapDevice(inner pager.BlockDevice, node string, plan *Plan) *Device {
+	return &Device{inner: inner, node: node, plan: plan}
+}
+
+var _ pager.BlockDevice = (*Device)(nil)
+
+// ReadBlock implements pager.BlockDevice.
+func (d *Device) ReadBlock(idx uint32) ([]byte, error) {
+	f := d.plan.Decide("device:" + d.node + ":read")
+	switch f.Class {
+	case Reset, Stall, Truncate:
+		return nil, &InjectedError{Class: Reset, Site: f.Site}
+	case Crash:
+		err := &InjectedError{Class: Crash, Site: f.Site}
+		d.plan.notifyCrash(d.node)
+		return nil, err
+	case Slow:
+		if w := d.plan.SlowDelay; w > 0 {
+			time.Sleep(w) //ironsafe:allow wallclock -- injected slow-medium latency
+		}
+	}
+	b, err := d.inner.ReadBlock(idx)
+	if err == nil && f.Class == Corrupt && len(b) > 0 {
+		bit := f.Bit % (len(b) * 8)
+		b[bit/8] ^= 1 << (bit % 8)
+	}
+	return b, err
+}
+
+// WriteBlock implements pager.BlockDevice.
+func (d *Device) WriteBlock(idx uint32, data []byte) error {
+	f := d.plan.Decide("device:" + d.node + ":write")
+	switch f.Class {
+	case Reset, Stall, Truncate:
+		return &InjectedError{Class: Reset, Site: f.Site}
+	case Crash:
+		err := &InjectedError{Class: Crash, Site: f.Site}
+		d.plan.notifyCrash(d.node)
+		return err
+	case Slow:
+		if w := d.plan.SlowDelay; w > 0 {
+			time.Sleep(w) //ironsafe:allow wallclock -- injected slow-medium latency
+		}
+	}
+	return d.inner.WriteBlock(idx, data)
+}
+
+// NumBlocks implements pager.BlockDevice (never faulted: sizing queries are
+// metadata, not I/O).
+func (d *Device) NumBlocks() uint32 { return d.inner.NumBlocks() }
+
+// Attester is the attestation call surface the injector wraps — the shape
+// of monitor.StorageAttester's Attest method.
+type Attester interface {
+	Attest(challenge []byte) (*trustzone.AttestationReport, error)
+}
+
+// FaultyAttester injects faults into the attestation path: Reset/Crash
+// fail the challenge-response, Slow delays it, Corrupt flips a bit in the
+// report's signature so verification must reject it.
+type FaultyAttester struct {
+	inner Attester
+	node  string
+	plan  *Plan
+}
+
+// WrapAttester instruments att; the site is "attest:<node>".
+func WrapAttester(inner Attester, node string, plan *Plan) *FaultyAttester {
+	return &FaultyAttester{inner: inner, node: node, plan: plan}
+}
+
+// Attest implements the attestation call with fault injection.
+func (a *FaultyAttester) Attest(challenge []byte) (*trustzone.AttestationReport, error) {
+	f := a.plan.Decide("attest:" + a.node)
+	switch f.Class {
+	case Reset, Stall, Truncate:
+		return nil, &InjectedError{Class: Reset, Site: f.Site}
+	case Crash:
+		err := &InjectedError{Class: Crash, Site: f.Site}
+		a.plan.notifyCrash(a.node)
+		return nil, err
+	case Slow:
+		if w := a.plan.SlowDelay; w > 0 {
+			time.Sleep(w) //ironsafe:allow wallclock -- injected slow attestation
+		}
+	}
+	rep, err := a.inner.Attest(challenge)
+	if err == nil && f.Class == Corrupt && len(rep.Signature) > 0 {
+		r := *rep
+		r.Signature = append([]byte(nil), rep.Signature...)
+		bit := f.Bit % (len(r.Signature) * 8)
+		r.Signature[bit/8] ^= 1 << (bit % 8)
+		return &r, nil
+	}
+	return rep, err
+}

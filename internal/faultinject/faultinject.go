@@ -1,0 +1,294 @@
+// Package faultinject is IronSafe's deterministic fault-injection
+// framework: a seed-driven Plan decides, per instrumented operation, whether
+// to inject a connection reset, an indefinite stall, a corrupted or
+// truncated frame, slow-peer latency, a node crash, or (via the chaos
+// harness) a restart with rolled-back state. Decisions come from per-site
+// xorshift streams keyed by (seed, site), so for a fixed seed the same
+// sequence of operations experiences exactly the same faults — the chaos
+// suite's byte-for-byte reproducibility rests on this, not on wall-clock
+// timing.
+//
+// The package wraps the repo's untrusted substrates — net.Conn channels and
+// pager.BlockDevice media — and the attestation path. It never touches the
+// real clock except to honor I/O deadlines already armed by the resilience
+// layer (stalls must end when the victim's deadline fires, or the test for
+// "no query ever hangs" would be meaningless).
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Class enumerates the injectable fault classes.
+type Class int
+
+const (
+	// None means the operation proceeds unharmed.
+	None Class = iota
+	// Reset closes the channel abruptly (TCP RST / peer crash mid-frame).
+	Reset
+	// Stall blocks the operation until the caller's deadline fires (or the
+	// channel is closed) — a hung peer.
+	Stall
+	// Corrupt flips one bit of the data read (in-flight corruption; the
+	// AEAD layer must reject the frame).
+	Corrupt
+	// Truncate delivers a prefix of the data then closes the channel
+	// (a frame cut short by a dying peer).
+	Truncate
+	// Slow delays the operation without failing it (a congested or
+	// overloaded peer).
+	Slow
+	// Crash models whole-node failure: the channel resets and the plan's
+	// crash callback marks the node dead until it restarts and
+	// re-attests.
+	Crash
+	// Rollback is recorded when the chaos harness restarts a node with a
+	// stale medium snapshot; the secure store must refuse it.
+	Rollback
+)
+
+// String names a class for logs and stats.
+func (c Class) String() string {
+	switch c {
+	case None:
+		return "none"
+	case Reset:
+		return "reset"
+	case Stall:
+		return "stall"
+	case Corrupt:
+		return "corrupt"
+	case Truncate:
+		return "truncate"
+	case Slow:
+		return "slow"
+	case Crash:
+		return "crash"
+	case Rollback:
+		return "rollback"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// ErrInjected is the root of every injected failure; errors.Is(err,
+// ErrInjected) distinguishes scripted faults from genuine bugs in tests.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// InjectedError reports one injected fault with its class and site.
+type InjectedError struct {
+	Class Class
+	Site  string
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("faultinject: injected %s at %s", e.Class, e.Site)
+}
+
+// Unwrap ties every injected error to ErrInjected.
+func (e *InjectedError) Unwrap() error { return ErrInjected }
+
+// Rule arms one fault class against matching sites. Sites are hierarchical
+// strings like "conn:storage-01:read" or "device:storage-02:ReadBlock";
+// a Rule matches when Site is a substring of the operation's site.
+type Rule struct {
+	// Site substring to match ("" matches everything).
+	Site string
+	// Class to inject.
+	Class Class
+	// Prob is the per-operation injection probability (0..1]. Rules that
+	// apply to the same operation occupy disjoint bands of one uniform
+	// draw, so their probabilities add rather than overlap: with rules at
+	// 0.02 and 0.015 on the same site, 3.5% of operations fault — 2%
+	// with the first class, 1.5% with the second.
+	Prob float64
+	// After skips the site's first After operations (lets handshakes
+	// complete before faulting steady-state traffic, or targets them
+	// specifically with After: 0).
+	After int
+	// MaxCount bounds injections from this rule per site stream
+	// (0 = unlimited).
+	MaxCount int
+}
+
+// Fault is one decision to inject.
+type Fault struct {
+	Class Class
+	Site  string
+	// Bit is the deterministic bit offset for Corrupt faults.
+	Bit int
+}
+
+// Plan is a deterministic fault plan: rules plus per-site decision streams.
+// Safe for concurrent use; determinism holds as long as each site's
+// operations occur in a deterministic order (the chaos suite runs queries
+// sequentially for exactly this reason).
+type Plan struct {
+	seed  uint64
+	rules []Rule
+
+	// SlowDelay is how long a Slow fault delays the operation (real time;
+	// keep it far below the victim's IOTimeout so Slow degrades but never
+	// fails). Zero disables the delay while still counting the fault.
+	SlowDelay time.Duration
+
+	// OnCrash, when set, is invoked (once per Crash fault, outside plan
+	// locks) with the site's node name — the chaos harness wires this to
+	// Cluster.KillStorage.
+	OnCrash func(node string)
+
+	mu      sync.Mutex
+	streams map[string]*stream
+	counts  map[Class]int
+	log     []string
+}
+
+// stream is one site's deterministic decision state.
+type stream struct {
+	rng       uint64
+	ops       int
+	ruleCount map[int]int
+}
+
+// NewPlan creates a plan from a seed and rules.
+func NewPlan(seed uint64, rules ...Rule) *Plan {
+	return &Plan{
+		seed:      seed,
+		rules:     rules,
+		SlowDelay: 2 * time.Millisecond,
+		streams:   map[string]*stream{},
+		counts:    map[Class]int{},
+	}
+}
+
+// fnv1a hashes a site name into the stream seed.
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func xorshift(x uint64) uint64 {
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	return x
+}
+
+func (p *Plan) stream(site string) *stream {
+	s, ok := p.streams[site]
+	if !ok {
+		seed := p.seed ^ fnv1a(site)
+		if seed == 0 {
+			seed = 1
+		}
+		s = &stream{rng: seed, ruleCount: map[int]int{}}
+		p.streams[site] = s
+	}
+	return s
+}
+
+// next draws the stream's next uniform value in [0,1) plus raw bits.
+func (s *stream) next() (float64, uint64) {
+	s.rng = xorshift(s.rng)
+	bits := s.rng * 0x2545f4914f6cdd1d
+	return float64(bits>>11) / float64(1<<53), bits
+}
+
+// Decide returns the fault (if any) to inject at site for its next
+// operation. Exactly one rule can fire per operation; rules are consulted
+// in order.
+func (p *Plan) Decide(site string) Fault {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stream(site)
+	op := s.ops
+	s.ops++
+	u, bits := s.next()
+	for i, r := range p.rules {
+		if r.Class == None || r.Prob <= 0 {
+			continue
+		}
+		if r.Site != "" && !strings.Contains(site, r.Site) {
+			continue
+		}
+		if op < r.After {
+			continue
+		}
+		if r.MaxCount > 0 && s.ruleCount[i] >= r.MaxCount {
+			continue
+		}
+		if u >= r.Prob {
+			// This rule's band passed over; shift the draw so later rules
+			// see their own disjoint slice instead of being shadowed.
+			u -= r.Prob
+			continue
+		}
+		s.ruleCount[i]++
+		p.counts[r.Class]++
+		p.log = append(p.log, fmt.Sprintf("%s@%s#%d", r.Class, site, op))
+		return Fault{Class: r.Class, Site: site, Bit: int(bits>>16) & 0x7fffffff}
+	}
+	return Fault{Class: None, Site: site}
+}
+
+// Record counts a fault the harness injected itself (Crash scheduling,
+// Rollback restarts) so Stats covers every class exercised.
+func (p *Plan) Record(class Class, site string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.counts[class]++
+	p.log = append(p.log, fmt.Sprintf("%s@%s", class, site))
+}
+
+// Stats returns the number of injections per class.
+func (p *Plan) Stats() map[Class]int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[Class]int, len(p.counts))
+	for k, v := range p.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// ClassesInjected returns the distinct classes injected so far, sorted by
+// class value — the chaos acceptance gate ("≥ 6 fault classes").
+func (p *Plan) ClassesInjected() []Class {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []Class
+	for c, n := range p.counts {
+		if n > 0 {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Trace returns the injection log in order — part of the chaos suite's
+// determinism digest.
+func (p *Plan) Trace() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.log...)
+}
+
+// notifyCrash runs the crash callback outside the plan lock.
+func (p *Plan) notifyCrash(node string) {
+	p.mu.Lock()
+	cb := p.OnCrash
+	p.mu.Unlock()
+	if cb != nil {
+		cb(node)
+	}
+}

@@ -108,6 +108,9 @@ type SplitOutcome struct {
 	RowsShipped  int64
 	BytesShipped int64
 	Offloads     int
+	// Failovers counts offload attempts that failed and were re-routed to
+	// another node (provider-based execution only).
+	Failovers int
 }
 
 // ExecuteSplit partitions sql, offloads the per-table fragments across
@@ -133,38 +136,130 @@ func (h *Host) ExecuteSplit(sqlText string, nodes []StorageNode) (*exec.Result, 
 		if err != nil {
 			return nil, nil, fmt.Errorf("hostengine: offload %q to %s: %w", ship.Table, node.NodeID(), err)
 		}
-		cat[ship.Table] = &exec.MemRelation{Sch: res.Sch, Rows: res.Rows}
-		outcome.RowsShipped += int64(len(res.Rows))
-		outcome.BytesShipped += bytes
-		outcome.Offloads++
-		if h.enclave != nil {
-			// Shipped rows enter the enclave through OCall buffers and
-			// stay resident as the host-side temp table.
-			h.enclave.OCall(func() error { return nil })
-			h.enclave.Alloc("shipped-"+ship.Table, bytes)
-		}
+		// Shipped rows enter the enclave through OCall buffers and stay
+		// resident as the host-side temp table.
+		h.absorbShipped(cat, outcome, ship.Table, res, bytes)
 	}
+	res, err := h.runHostPhase(split, cat)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, outcome, nil
+}
+
+// NodeProvider supplies storage nodes for failover-aware split execution.
+// Unlike a static []StorageNode, a provider can hand out a FRESH channel per
+// attempt — essential after a fault, because an AEAD channel that saw a
+// corrupted or dropped frame is unrecoverably desynchronized and must be
+// replaced, not retried.
+type NodeProvider interface {
+	// CandidateIDs returns the node IDs currently eligible for offloads, in
+	// a deterministic order (the chaos suite's reproducibility depends on
+	// deterministic candidate ordering).
+	CandidateIDs() []string
+	// Connect returns a live StorageNode for id, establishing a fresh
+	// channel if the previous one failed. A node that is down or circuit-
+	// broken returns an error immediately.
+	Connect(id string) (StorageNode, error)
+	// Report records an offload outcome for health tracking.
+	Report(id string, ok bool)
+}
+
+// ErrAllNodesFailed reports that every candidate node failed an offload.
+var ErrAllNodesFailed = errors.New("hostengine: offload failed on all storage nodes")
+
+// ExecuteSplitProvider is ExecuteSplit with per-ship node failover: each
+// shipped fragment is offloaded to its round-robin node, and on failure is
+// re-offloaded to the next surviving candidate over a fresh channel. Only
+// when every candidate fails does the query fail — with a typed error, never
+// a hang.
+func (h *Host) ExecuteSplitProvider(sqlText string, prov NodeProvider) (*exec.Result, *SplitOutcome, error) {
+	sel, err := parser.ParseSelect(sqlText)
+	if err != nil {
+		return nil, nil, err
+	}
+	split, err := partition.SplitQuery(sel, h.schemas)
+	if err != nil {
+		return nil, nil, err
+	}
+	outcome := &SplitOutcome{Split: split}
+	cat := shippedCatalog{}
+	for i, ship := range split.Ships {
+		ids := prov.CandidateIDs()
+		if len(ids) == 0 {
+			return nil, outcome, fmt.Errorf("%w: no candidates for %q", ErrAllNodesFailed, ship.Table)
+		}
+		var res *exec.Result
+		var wire int64
+		var lastErr error
+		done := false
+		for j := 0; j < len(ids) && !done; j++ {
+			id := ids[(i+j)%len(ids)]
+			node, err := prov.Connect(id)
+			if err != nil {
+				lastErr = fmt.Errorf("connect %s: %w", id, err)
+				outcome.Failovers++
+				continue
+			}
+			res, wire, err = node.Offload(ship.SQL)
+			if err != nil {
+				prov.Report(id, false)
+				lastErr = fmt.Errorf("offload to %s: %w", id, err)
+				outcome.Failovers++
+				continue
+			}
+			prov.Report(id, true)
+			done = true
+		}
+		if !done {
+			return nil, outcome, fmt.Errorf("%w: %q: %w", ErrAllNodesFailed, ship.Table, lastErr)
+		}
+		h.absorbShipped(cat, outcome, ship.Table, res, wire)
+	}
+	res, err := h.runHostPhase(split, cat)
+	if err != nil {
+		return nil, outcome, err
+	}
+	return res, outcome, nil
+}
+
+// absorbShipped registers one offload result in the shipped catalog with
+// enclave and accounting bookkeeping.
+func (h *Host) absorbShipped(cat shippedCatalog, outcome *SplitOutcome, table string, res *exec.Result, wire int64) {
+	cat[table] = &exec.MemRelation{Sch: res.Sch, Rows: res.Rows}
+	outcome.RowsShipped += int64(len(res.Rows))
+	outcome.BytesShipped += wire
+	outcome.Offloads++
+	if h.enclave != nil {
+		h.enclave.OCall(func() error { return nil })
+		h.enclave.Alloc("shipped-"+table, wire)
+	}
+}
+
+// runHostPhase executes the host-side remainder over the shipped catalog and
+// wipes the session temp tables.
+func (h *Host) runHostPhase(split *partition.Split, cat shippedCatalog) (*exec.Result, error) {
 	var res *exec.Result
 	run := func() error {
 		var err error
 		res, err = exec.Run(split.Host, cat, h.cfg.Meter)
 		return err
 	}
+	var err error
 	if h.enclave != nil {
 		err = h.enclave.ECall(run)
 	} else {
 		err = run()
 	}
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	// Session cleanup: temp tables wiped after the result is produced.
 	if h.enclave != nil {
 		for _, ship := range split.Ships {
 			h.enclave.Alloc("shipped-"+ship.Table, 0)
 		}
 	}
-	return res, outcome, nil
+	return res, nil
 }
 
 // ExecuteLocal runs sql on a locally attached database (the host-only and

@@ -2,9 +2,11 @@ package hostengine
 
 import (
 	"errors"
+	"fmt"
 	"net"
 
 	"ironsafe/internal/pager"
+	"ironsafe/internal/resilience"
 	"ironsafe/internal/simtime"
 	"ironsafe/internal/sql/exec"
 	"ironsafe/internal/storageengine"
@@ -58,19 +60,17 @@ type RemoteNode struct {
 	Conn *transport.SecureConn
 }
 
-// DialStorage opens the session-bound channel to a storage server started
-// with storageengine.Server.Serve.
-func DialStorage(addr, nodeID, sessionID string, sessionKey []byte, meter *simtime.Meter) (*RemoteNode, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
+// NewRemoteNode runs the session preamble and monitor-keyed handshake over
+// an already-established conn (TCP, an in-process pipe, or a fault-injecting
+// wrapper) and returns the node. The conn is closed on failure.
+func NewRemoteNode(conn net.Conn, nodeID, sessionID string, sessionKey []byte, meter *simtime.Meter) (*RemoteNode, error) {
 	// Plaintext preamble naming the session, then the bound handshake.
 	if len(sessionID) > 255 {
 		conn.Close()
 		return nil, errors.New("hostengine: session id too long")
 	}
 	pre := append([]byte{byte(len(sessionID))}, sessionID...)
+	//ironsafe:allow rawnet -- preamble write; callers arm a handshake deadline (resilience.WithConnDeadline)
 	if _, err := conn.Write(pre); err != nil {
 		conn.Close()
 		return nil, err
@@ -81,6 +81,36 @@ func DialStorage(addr, nodeID, sessionID string, sessionKey []byte, meter *simti
 		return nil, err
 	}
 	return &RemoteNode{ID: nodeID, Conn: sc}, nil
+}
+
+// DialStorage opens the session-bound channel to a storage server started
+// with storageengine.Server.Serve, with default dial resilience.
+func DialStorage(addr, nodeID, sessionID string, sessionKey []byte, meter *simtime.Meter) (*RemoteNode, error) {
+	cfg := resilience.Config{Sleep: resilience.RealSleep}.WithDefaults()
+	return DialStorageResilient(addr, nodeID, sessionID, sessionKey, meter, cfg)
+}
+
+// DialStorageResilient is DialStorage with an explicit resilience config:
+// the TCP dial retries with backoff and the handshake runs under a deadline
+// so a hung storage node cannot stall query admission.
+func DialStorageResilient(addr, nodeID, sessionID string, sessionKey []byte, meter *simtime.Meter, cfg resilience.Config) (*RemoteNode, error) {
+	conn, err := resilience.DialTCP(addr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var node *RemoteNode
+	hsErr := resilience.WithConnDeadline(conn, cfg.HandshakeTimeout, func() error {
+		var err error
+		node, err = NewRemoteNode(conn, nodeID, sessionID, sessionKey, meter)
+		return err
+	})
+	if hsErr != nil {
+		return nil, fmt.Errorf("hostengine: storage handshake with %s: %w", nodeID, hsErr)
+	}
+	if cfg.IOTimeout > 0 {
+		node.Conn.SetIOTimeout(cfg.IOTimeout)
+	}
+	return node, nil
 }
 
 // NodeID implements StorageNode.
@@ -105,10 +135,12 @@ func (n *RemoteNode) Offload(sql string) (*exec.Result, int64, error) {
 	return res, int64(len(payload)), nil
 }
 
-// Close ends the channel.
+// Close ends the channel. A failed goodbye is reported alongside the close
+// error rather than dropped: on a faulted channel it is often the first
+// (and only) signal the peer is gone.
 func (n *RemoteNode) Close() error {
-	n.Conn.Send("bye", nil)
-	return n.Conn.Close()
+	byeErr := n.Conn.Send("bye", nil)
+	return errors.Join(byeErr, n.Conn.Close())
 }
 
 // BlockFetcher serves raw medium blocks remotely — the NFS-like access path

@@ -13,6 +13,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -351,6 +352,10 @@ func (m *Monitor) Authorize(req AuthRequest) (*Authorization, error) {
 		storageNodes = append(storageNodes, s)
 	}
 	m.mu.Unlock()
+	// Deterministic node order: map iteration order must not leak into the
+	// authorization (offload placement, and with it every downstream byte,
+	// would become nondeterministic across runs).
+	sort.Slice(storageNodes, func(i, j int) bool { return storageNodes[i].info.ID < storageNodes[j].info.ID })
 
 	if host == nil {
 		return nil, fmt.Errorf("monitor: host %q not attested", req.HostID)

@@ -1,0 +1,126 @@
+package resilience
+
+import (
+	"sort"
+	"sync"
+)
+
+// nodeState is one node's health record.
+type nodeState struct {
+	consecFails int
+	open        bool
+	blocked     int // attempts rejected since the circuit opened
+	down        bool
+}
+
+// Tracker is a per-node health tracker with count-based circuit breaking.
+// A node's circuit opens after FailureThreshold consecutive failures; while
+// open, Allow rejects attempts except one deterministic probe every
+// ProbeEvery rejections (count-based half-open, so the breaker needs no
+// clock and stays reproducible under the chaos suite). A successful probe
+// closes the circuit; a failed one re-opens it.
+type Tracker struct {
+	mu    sync.Mutex
+	cfg   Config
+	nodes map[string]*nodeState
+}
+
+// NewTracker creates a Tracker with cfg's breaker settings.
+func NewTracker(cfg Config) *Tracker {
+	return &Tracker{cfg: cfg.WithDefaults(), nodes: map[string]*nodeState{}}
+}
+
+func (t *Tracker) state(id string) *nodeState {
+	s, ok := t.nodes[id]
+	if !ok {
+		s = &nodeState{}
+		t.nodes[id] = s
+	}
+	return s
+}
+
+// Allow reports whether an attempt against id should proceed.
+func (t *Tracker) Allow(id string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.state(id)
+	if s.down {
+		return false
+	}
+	if !s.open {
+		return true
+	}
+	s.blocked++
+	if s.blocked >= t.cfg.ProbeEvery {
+		s.blocked = 0
+		return true // half-open probe
+	}
+	return false
+}
+
+// Report records one attempt's outcome for id.
+func (t *Tracker) Report(id string, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.state(id)
+	if ok {
+		s.consecFails = 0
+		s.open = false
+		s.blocked = 0
+		return
+	}
+	s.consecFails++
+	if s.consecFails >= t.cfg.FailureThreshold {
+		s.open = true
+	}
+}
+
+// MarkDown administratively removes id (crash, revocation): Allow rejects
+// every attempt until MarkUp.
+func (t *Tracker) MarkDown(id string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.state(id)
+	s.down = true
+	s.open = true
+}
+
+// MarkUp readmits id with a clean slate (post-restart, after the node
+// re-attested).
+func (t *Tracker) MarkUp(id string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nodes[id] = &nodeState{}
+}
+
+// Down reports whether id is administratively down.
+func (t *Tracker) Down(id string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state(id).down
+}
+
+// Open reports whether id's circuit is currently open.
+func (t *Tracker) Open(id string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.state(id)
+	return s.open || s.down
+}
+
+// Snapshot returns the ids with open circuits or down flags, sorted — a
+// deterministic view for logs and tests.
+func (t *Tracker) Snapshot() (open, down []string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for id, s := range t.nodes {
+		if s.down {
+			down = append(down, id)
+		} else if s.open {
+			open = append(open, id)
+		}
+	}
+	sort.Strings(open)
+	sort.Strings(down)
+	return open, down
+}

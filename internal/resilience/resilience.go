@@ -1,0 +1,258 @@
+// Package resilience is IronSafe's fault-tolerance layer: deadlines on
+// blocking I/O, retry with capped exponential backoff and deterministic
+// jitter, per-node health tracking with circuit breaking, and the dial
+// helpers every distributed component uses instead of naked net.Dial.
+//
+// The package is deliberately clock-disciplined. Durations configure real
+// I/O deadlines (genuinely real-time guards against hung peers, annotated
+// for the wallclock analyzer), while backoff *waiting* is injectable: the
+// default Sleep is nil, which makes retries immediate — correct for the
+// deterministic chaos suite and unit tests — and the cmd binaries install
+// RealSleep for production pacing. Jitter comes from a seeded xorshift
+// stream, never from the global math/rand, so a fixed seed reproduces the
+// exact retry schedule byte for byte.
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Typed failure classes. Every error the resilience layer returns wraps one
+// of these, so callers (and the chaos suite) can classify failures with
+// errors.Is instead of string matching.
+var (
+	// ErrExhausted reports that every retry attempt failed.
+	ErrExhausted = errors.New("resilience: retries exhausted")
+	// ErrCircuitOpen reports a call skipped because the node's breaker is
+	// open (the node failed repeatedly and is not yet probed again).
+	ErrCircuitOpen = errors.New("resilience: circuit open")
+	// ErrNodeDown reports a node known to be crashed or administratively
+	// removed; no connection attempt is made.
+	ErrNodeDown = errors.New("resilience: node down")
+	// ErrDeadline reports an I/O deadline expiry (a hung or stalled peer).
+	ErrDeadline = errors.New("resilience: deadline exceeded")
+)
+
+// Config tunes the resilience layer. The zero value is usable: WithDefaults
+// fills production-grade settings. All knobs are per-cluster (or per-binary)
+// so the chaos suite can shrink deadlines to milliseconds.
+type Config struct {
+	// DialTimeout bounds one TCP connect attempt.
+	DialTimeout time.Duration
+	// HandshakeTimeout bounds the secure-channel handshake (preamble, key
+	// exchange, key confirmation) after the socket connects.
+	HandshakeTimeout time.Duration
+	// IOTimeout bounds each message send/recv on an established secure
+	// channel. Zero disables per-message deadlines (server-side idle reads
+	// legitimately block forever).
+	IOTimeout time.Duration
+	// DialAttempts is how many times dial+handshake is retried.
+	DialAttempts int
+	// OffloadAttempts is how many nodes/retries one offloaded fragment may
+	// consume before the query degrades.
+	OffloadAttempts int
+	// RetryBase / RetryMax bound the exponential backoff envelope.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// RetryJitter is the fraction of each delay randomized (0..1).
+	RetryJitter float64
+	// Seed drives the deterministic jitter stream.
+	Seed uint64
+	// Sleep waits between retries. Nil means no waiting (virtual backoff):
+	// the delay schedule is still computed and reported, but the caller
+	// does not block — the mode used by tests and the chaos suite. Install
+	// RealSleep in deployed binaries.
+	Sleep func(time.Duration)
+	// FailureThreshold consecutive failures open a node's circuit.
+	FailureThreshold int
+	// ProbeEvery allows one probe through an open circuit every N blocked
+	// attempts (count-based half-open, deterministic without a clock).
+	ProbeEvery int
+}
+
+// WithDefaults returns c with zero fields replaced by production defaults.
+func (c Config) WithDefaults() Config {
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.HandshakeTimeout == 0 {
+		c.HandshakeTimeout = 3 * time.Second
+	}
+	// IOTimeout deliberately keeps its zero value unless set: per-message
+	// deadlines are opt-in per channel role.
+	if c.DialAttempts == 0 {
+		c.DialAttempts = 3
+	}
+	if c.OffloadAttempts == 0 {
+		c.OffloadAttempts = 3
+	}
+	if c.RetryBase == 0 {
+		c.RetryBase = 20 * time.Millisecond
+	}
+	if c.RetryMax == 0 {
+		c.RetryMax = 2 * time.Second
+	}
+	if c.RetryJitter == 0 {
+		c.RetryJitter = 0.2
+	}
+	if c.FailureThreshold == 0 {
+		c.FailureThreshold = 3
+	}
+	if c.ProbeEvery == 0 {
+		c.ProbeEvery = 4
+	}
+	return c
+}
+
+// RealSleep blocks for d on the real clock — deployed-binary pacing only;
+// simulations leave Config.Sleep nil.
+func RealSleep(d time.Duration) {
+	time.Sleep(d) //ironsafe:allow wallclock -- genuinely real-time retry pacing in deployed binaries
+}
+
+// permanentError marks an error that must not be retried.
+type permanentError struct{ err error }
+
+func (p *permanentError) Error() string { return p.err.Error() }
+func (p *permanentError) Unwrap() error { return p.err }
+
+// Permanent wraps err so Retry stops immediately instead of retrying:
+// policy denials, authentication failures, and malformed requests do not
+// become less denied by trying again.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err (or anything it wraps) was marked
+// Permanent.
+func IsPermanent(err error) bool {
+	var p *permanentError
+	return errors.As(err, &p)
+}
+
+// xorshift64star is the deterministic jitter stream.
+type xorshift64star struct{ state uint64 }
+
+func newRNG(seed uint64) *xorshift64star {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &xorshift64star{state: seed}
+}
+
+func (r *xorshift64star) next() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// float64 returns a uniform value in [0, 1).
+func (r *xorshift64star) float64() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// Backoff computes a capped exponential retry schedule with deterministic
+// jitter. Not safe for concurrent use; create one per retry loop.
+type Backoff struct {
+	base, max time.Duration
+	jitter    float64
+	rng       *xorshift64star
+}
+
+// NewBackoff builds a Backoff from the config (seed offsets allow distinct
+// streams per call site without correlating their jitter).
+func (c Config) NewBackoff(seedOffset uint64) *Backoff {
+	return &Backoff{
+		base:   c.RetryBase,
+		max:    c.RetryMax,
+		jitter: c.RetryJitter,
+		rng:    newRNG(c.Seed ^ (seedOffset*0x9e3779b97f4a7c15 + 1)),
+	}
+}
+
+// Next returns the delay before retry attempt (attempt 0 = first retry):
+// min(base<<attempt, max), with ±jitter/2 randomization.
+func (b *Backoff) Next(attempt int) time.Duration {
+	d := b.base
+	for i := 0; i < attempt && d < b.max; i++ {
+		d *= 2
+	}
+	if d > b.max {
+		d = b.max
+	}
+	if b.jitter > 0 {
+		f := 1 + b.jitter*(b.rng.float64()-0.5)
+		d = time.Duration(float64(d) * f)
+	}
+	return d
+}
+
+// Retry runs op up to attempts times, backing off between failures. A nil
+// cfg.Sleep computes but does not wait the delays. Errors marked Permanent
+// stop the loop at once; exhausting attempts returns an error wrapping both
+// ErrExhausted and the last failure.
+func Retry(cfg Config, attempts int, op func(attempt int) error) error {
+	if attempts <= 0 {
+		attempts = 1
+	}
+	b := cfg.NewBackoff(uint64(attempts))
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = op(i); err == nil {
+			return nil
+		}
+		if IsPermanent(err) {
+			return err
+		}
+		if i+1 < attempts {
+			if d := b.Next(i); cfg.Sleep != nil && d > 0 {
+				cfg.Sleep(d)
+			}
+		}
+	}
+	return fmt.Errorf("%w after %d attempts: %w", ErrExhausted, attempts, err)
+}
+
+// DialTCP opens a TCP connection with per-attempt timeout and backoff —
+// the sanctioned replacement for naked net.Dial in distributed components
+// (enforced by the ironsafe-vet rawnet analyzer).
+func DialTCP(addr string, cfg Config) (net.Conn, error) {
+	cfg = cfg.WithDefaults()
+	var conn net.Conn
+	err := Retry(cfg, cfg.DialAttempts, func(int) error {
+		c, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
+		if err != nil {
+			return err
+		}
+		conn = c
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("resilience: dial %s: %w", addr, err)
+	}
+	return conn, nil
+}
+
+// WithConnDeadline arms an absolute deadline on conn around fn and clears
+// it after — the standard guard for handshakes and preambles so a hung peer
+// cannot block the caller forever. A zero d runs fn unguarded.
+func WithConnDeadline(conn net.Conn, d time.Duration, fn func() error) error {
+	if conn == nil || d <= 0 {
+		return fn()
+	}
+	deadline := time.Now().Add(d) //ironsafe:allow wallclock -- genuinely real-time I/O deadline against hung peers
+	if err := conn.SetDeadline(deadline); err != nil {
+		return err
+	}
+	defer conn.SetDeadline(time.Time{})
+	return fn()
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"ironsafe/internal/engine"
 	"ironsafe/internal/pager"
@@ -223,12 +224,21 @@ func (s *Server) Serve(ln net.Listener) error {
 		if err != nil {
 			return err
 		}
-		go s.handleConn(conn)
+		go s.ServeConn(conn)
 	}
 }
 
-func (s *Server) handleConn(conn net.Conn) {
+// PreambleTimeout bounds the plaintext session preamble plus handshake: a
+// client that connects and then goes silent must not pin a serving goroutine
+// forever.
+const PreambleTimeout = 5 * time.Second
+
+// ServeConn serves one host connection — exported so single-process
+// deployments (and the chaos harness) can drive the full wire protocol over
+// in-process pipes, optionally wrapped with fault injectors.
+func (s *Server) ServeConn(conn net.Conn) {
 	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(PreambleTimeout)) //ironsafe:allow wallclock -- bounding preamble+handshake against silent clients
 	// Plaintext preamble: the session id length-prefixed.
 	var idLen [1]byte
 	if _, err := readFull(conn, idLen[:]); err != nil {
@@ -246,6 +256,7 @@ func (s *Server) handleConn(conn net.Conn) {
 	if err != nil {
 		return
 	}
+	conn.SetDeadline(time.Time{})
 	defer sc.Close()
 	for {
 		typ, payload, err := sc.Recv()
@@ -277,6 +288,7 @@ func (s *Server) handleConn(conn net.Conn) {
 func readFull(conn net.Conn, buf []byte) (int, error) {
 	n := 0
 	for n < len(buf) {
+		//ironsafe:allow rawnet -- preamble read; ServeConn arms a PreambleTimeout deadline before calling here
 		m, err := conn.Read(buf[n:])
 		n += m
 		if err != nil {

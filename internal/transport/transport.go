@@ -19,6 +19,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"ironsafe/internal/simtime"
 )
@@ -26,10 +27,27 @@ import (
 // MaxFrame bounds a single message (16 MiB).
 const MaxFrame = 16 << 20
 
+// Typed failures, so callers can distinguish an attacked or misbehaving
+// channel from ordinary I/O trouble and fail fast instead of retrying a
+// conversation whose AEAD state is unrecoverably desynchronized.
+var (
+	// ErrFrameTooLarge reports a length header exceeding MaxFrame — a
+	// corrupted or hostile peer; reading on would desync the stream.
+	ErrFrameTooLarge = errors.New("transport: frame exceeds limit")
+	// ErrAuth reports AEAD verification failure: a corrupted, replayed,
+	// reordered, or forged frame. The channel must be abandoned.
+	ErrAuth = errors.New("transport: frame authentication failed")
+	// ErrMalformed reports a frame that decrypted but violates framing.
+	ErrMalformed = errors.New("transport: malformed frame")
+)
+
 // SecureConn is an encrypted, integrity-protected message channel.
 type SecureConn struct {
 	conn  net.Conn
 	meter *simtime.Meter
+
+	ioMu      sync.Mutex
+	ioTimeout time.Duration
 
 	sendMu    sync.Mutex
 	sendAEAD  cipher.AEAD
@@ -38,6 +56,28 @@ type SecureConn struct {
 	recvAEAD  cipher.AEAD
 	recvSeq   uint64
 	recvExtra []byte
+}
+
+// SetIOTimeout makes every subsequent Send and Recv arm a deadline of d on
+// the underlying connection, so a stalled or hung peer surfaces as a timeout
+// error instead of blocking forever. Zero disables the deadline.
+func (c *SecureConn) SetIOTimeout(d time.Duration) {
+	c.ioMu.Lock()
+	c.ioTimeout = d
+	c.ioMu.Unlock()
+}
+
+// armDeadline arms a read or write deadline if an I/O timeout is set; the
+// returned func clears it.
+func (c *SecureConn) armDeadline(set func(time.Time) error) func() {
+	c.ioMu.Lock()
+	d := c.ioTimeout
+	c.ioMu.Unlock()
+	if d <= 0 {
+		return func() {}
+	}
+	set(time.Now().Add(d)) //ironsafe:allow wallclock -- arming a real I/O deadline against hung peers
+	return func() { set(time.Time{}) }
 }
 
 // deriveKey expands the handshake secret into a directional key.
@@ -169,7 +209,10 @@ func (c *SecureConn) Send(msgType string, payload []byte) error {
 	frame := make([]byte, 4+len(ct))
 	binary.BigEndian.PutUint32(frame, uint32(len(ct)))
 	copy(frame[4:], ct)
-	if _, err := c.conn.Write(frame); err != nil {
+	clear := c.armDeadline(c.conn.SetWriteDeadline)
+	_, err := c.conn.Write(frame)
+	clear()
+	if err != nil {
 		return fmt.Errorf("transport: write: %w", err)
 	}
 	if c.meter != nil {
@@ -183,13 +226,15 @@ func (c *SecureConn) Send(msgType string, payload []byte) error {
 func (c *SecureConn) Recv() (string, []byte, error) {
 	c.recvMu.Lock()
 	defer c.recvMu.Unlock()
+	clear := c.armDeadline(c.conn.SetReadDeadline)
+	defer clear()
 	var hdr [4]byte
 	if _, err := io.ReadFull(c.conn, hdr[:]); err != nil {
 		return "", nil, fmt.Errorf("transport: read header: %w", err)
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrame {
-		return "", nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+		return "", nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
 	}
 	ct := make([]byte, n)
 	if _, err := io.ReadFull(c.conn, ct); err != nil {
@@ -200,17 +245,17 @@ func (c *SecureConn) Recv() (string, []byte, error) {
 	c.recvSeq++
 	plain, err := c.recvAEAD.Open(nil, nonce, ct, nil)
 	if err != nil {
-		return "", nil, errors.New("transport: frame authentication failed")
+		return "", nil, ErrAuth
 	}
 	if c.meter != nil {
 		c.meter.BytesReceived.Add(int64(n) + 4)
 	}
 	if len(plain) < 1 {
-		return "", nil, errors.New("transport: empty frame")
+		return "", nil, fmt.Errorf("%w: empty frame", ErrMalformed)
 	}
 	tl := int(plain[0])
 	if 1+tl > len(plain) {
-		return "", nil, errors.New("transport: malformed frame")
+		return "", nil, fmt.Errorf("%w: truncated type header", ErrMalformed)
 	}
 	return string(plain[1 : 1+tl]), plain[1+tl:], nil
 }
@@ -229,14 +274,28 @@ func Pipe(sessionKey []byte, clientMeter, serverMeter *simtime.Meter) (*SecureCo
 	ch := make(chan res, 1)
 	go func() {
 		sc, err := Server(b, sessionKey, serverMeter)
+		if err != nil {
+			// Unblock a client still mid-handshake on the other end;
+			// otherwise it would wait forever for a reply that never comes.
+			b.Close()
+		}
 		ch <- res{sc, err}
 	}()
 	client, err := Client(a, sessionKey, clientMeter)
-	srv := <-ch
 	if err != nil {
+		// Tear down both ends so the server goroutine cannot leak blocked
+		// in its half of the handshake, then reap it.
+		a.Close()
+		b.Close()
+		srv := <-ch
+		if srv.sc != nil {
+			srv.sc.Close()
+		}
 		return nil, nil, err
 	}
+	srv := <-ch
 	if srv.err != nil {
+		client.Close()
 		return nil, nil, srv.err
 	}
 	return client, srv.sc, nil

@@ -1,0 +1,198 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// faultPair builds a handshaked client plus a raw conn speaking directly to
+// the server side's underlying socket, so tests can write hostile bytes.
+func rawServerPair(t *testing.T) (*SecureConn, net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	ch := make(chan *SecureConn, 1)
+	go func() {
+		sc, err := Server(b, []byte("k"), nil)
+		if err != nil {
+			b.Close()
+			ch <- nil
+			return
+		}
+		ch <- sc
+	}()
+	client, err := Client(a, []byte("k"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-ch
+	if server == nil {
+		t.Fatal("server handshake failed")
+	}
+	t.Cleanup(func() { client.Close(); server.Close() })
+	// Return the server SecureConn and the client's raw pipe end: past the
+	// handshake, bytes written raw on a reach the server unencrypted.
+	return server, a
+}
+
+// TestOversizedLengthHeaderTyped: a length header past MaxFrame must fail
+// with ErrFrameTooLarge before any allocation or read of the body.
+func TestOversizedLengthHeaderTyped(t *testing.T) {
+	server, raw := rawServerPair(t)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := server.Recv()
+		errc <- err
+	}()
+	if _, err := raw.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrFrameTooLarge) {
+			t.Errorf("err = %v, want ErrFrameTooLarge", err)
+		}
+	case <-time.After(2 * time.Second): //ironsafe:allow wallclock -- test watchdog
+		t.Fatal("Recv hung on oversized header")
+	}
+}
+
+// TestBitFlippedCiphertextTyped: any flipped ciphertext bit must surface as
+// ErrAuth, and the connection must not desync into accepting later frames.
+func TestBitFlippedCiphertextTyped(t *testing.T) {
+	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+	defer ln.Close()
+	srvErrs := make(chan error, 2)
+	go func() {
+		conn, _ := ln.Accept()
+		flip := &flipConn{Conn: conn}
+		sc, err := Server(flip, []byte("k"), nil)
+		if err != nil {
+			srvErrs <- err
+			return
+		}
+		flip.armed = true
+		_, _, err = sc.Recv()
+		srvErrs <- err
+		flip.armed = false
+		_, _, err = sc.Recv() // after an auth failure the channel stays dead-safe
+		srvErrs <- err
+	}()
+	conn, _ := net.Dial("tcp", ln.Addr().String())
+	client, err := Client(conn, []byte("k"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.Send("q", []byte("payload"))
+	if err := <-srvErrs; !errors.Is(err, ErrAuth) {
+		t.Errorf("flipped bit: err = %v, want ErrAuth", err)
+	}
+	// A follow-up clean frame must ALSO fail with a typed error: the
+	// receiver burned a nonce (and possibly its framing alignment) on the
+	// corrupted frame, so nothing after it may be silently accepted.
+	client.Send("q2", []byte("clean"))
+	if err := <-srvErrs; !errors.Is(err, ErrAuth) && !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("post-corruption frame: err = %v, want typed rejection (no desync)", err)
+	}
+}
+
+// TestTruncatedFrameFailsFast: a frame cut short by a dying peer must error
+// out once the conn closes — never hang, never deliver partial plaintext.
+func TestTruncatedFrameFailsFast(t *testing.T) {
+	server, raw := rawServerPair(t)
+	// Announce 100 bytes, deliver 10, then die.
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 100)
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := server.Recv()
+		errc <- err
+	}()
+	raw.Write(hdr[:])
+	raw.Write(make([]byte, 10))
+	raw.Close()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Error("truncated frame delivered successfully")
+		}
+	case <-time.After(2 * time.Second): //ironsafe:allow wallclock -- test watchdog
+		t.Fatal("Recv hung on truncated frame")
+	}
+}
+
+// TestSetIOTimeoutUnblocksSilentPeer: with an I/O timeout armed, Recv on a
+// silent connection returns a timeout error instead of blocking forever.
+func TestSetIOTimeoutUnblocksSilentPeer(t *testing.T) {
+	client, _, err := Pipe(nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.SetIOTimeout(50 * time.Millisecond)
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := client.Recv()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		var ne net.Error
+		if !errors.As(err, &ne) || !ne.Timeout() {
+			t.Errorf("err = %v, want timeout", err)
+		}
+	case <-time.After(2 * time.Second): //ironsafe:allow wallclock -- test watchdog
+		t.Fatal("Recv ignored the I/O timeout")
+	}
+}
+
+// TestPipeHandshakeFailureLeaksNoGoroutine: the regression this guards
+// against is Pipe leaving its server goroutine blocked forever when the
+// client side errors first.
+func TestPipeHandshakeFailureLeaksNoGoroutine(t *testing.T) {
+	before := runtime.NumGoroutine()
+	// Force handshake failures by racing many pipes with mismatched
+	// pre-closed conns: simplest deterministic trigger is closing one end.
+	for i := 0; i < 20; i++ {
+		a, b := net.Pipe()
+		a.Close()
+		b.Close()
+		// Both sides fail immediately; Pipe (which creates its own pipe)
+		// can't be forced to fail from outside, so exercise the component
+		// path Pipe uses: a Server goroutine plus failing Client.
+		ch := make(chan error, 1)
+		go func() {
+			_, err := Server(b, []byte("k"), nil)
+			ch <- err
+		}()
+		if _, err := Client(a, []byte("k"), nil); err == nil {
+			t.Fatal("handshake on closed pipe succeeded")
+		}
+		if err := <-ch; err == nil {
+			t.Fatal("server handshake on closed pipe succeeded")
+		}
+	}
+	// Also run healthy Pipes to ensure the success path leaves nothing.
+	for i := 0; i < 5; i++ {
+		c, s, err := Pipe([]byte("k"), nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+		s.Close()
+	}
+	deadline := time.Now().Add(2 * time.Second) //ironsafe:allow wallclock -- goroutine-drain watchdog
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) { //ironsafe:allow wallclock -- goroutine-drain watchdog
+			t.Fatalf("goroutines leaked: %d -> %d", before, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond) //ironsafe:allow wallclock -- polling goroutine count
+	}
+}

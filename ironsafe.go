@@ -17,7 +17,9 @@ import (
 	"crypto/ed25519"
 	"errors"
 	"fmt"
+	"net"
 	"strings"
+	"sync"
 
 	"ironsafe/internal/engine"
 	"ironsafe/internal/hostengine"
@@ -25,6 +27,7 @@ import (
 	"ironsafe/internal/pager"
 	"ironsafe/internal/partition"
 	"ironsafe/internal/policy"
+	"ironsafe/internal/resilience"
 	"ironsafe/internal/securestore"
 	"ironsafe/internal/simtime"
 	"ironsafe/internal/sql/exec"
@@ -99,6 +102,18 @@ type Config struct {
 	StorageFW       string
 	// CostModel prices meters into simulated time; nil means the default.
 	CostModel *simtime.CostModel
+	// ChannelTransport routes split-mode offloads over real monitor-keyed
+	// secure channels (in-process pipes speaking the full wire protocol)
+	// instead of direct in-process calls — the substrate the chaos suite
+	// injects faults into.
+	ChannelTransport bool
+	// ConnWrapper, when set with ChannelTransport, wraps the host side of
+	// each storage channel (fault injection hook). node is the storage ID.
+	ConnWrapper func(node string, conn net.Conn) net.Conn
+	// Resilience tunes deadlines, retries, and circuit breaking for the
+	// cluster's distributed paths; nil means defaults with virtual backoff
+	// (no real sleeping — appropriate for tests and simulation).
+	Resilience *resilience.Config
 }
 
 func (c *Config) fill() {
@@ -139,6 +154,12 @@ type Cluster struct {
 	hostDB   *engine.DB // host-local database (host-only modes)
 	secure   bool
 	database string
+
+	res    resilience.Config
+	health *resilience.Tracker
+
+	nodeMu sync.Mutex
+	down   map[string]bool // nodes killed and not yet readmitted
 }
 
 // secureMode reports whether the mode runs with protection enabled.
@@ -158,7 +179,14 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		StorageMeter: &simtime.Meter{},
 		secure:       cfg.Mode.secureMode(),
 		database:     "db",
+		down:         map[string]bool{},
 	}
+	if cfg.Resilience != nil {
+		c.res = cfg.Resilience.WithDefaults()
+	} else {
+		c.res = resilience.Config{}.WithDefaults()
+	}
+	c.health = resilience.NewTracker(c.res)
 	var err error
 	c.vendor, err = trustzone.NewVendor("ironsafe-vendor")
 	if err != nil {

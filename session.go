@@ -1,6 +1,7 @@
 package ironsafe
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -51,6 +52,12 @@ type QueryStats struct {
 	// RowsShipped / BytesShipped measure host<->storage data movement.
 	RowsShipped  int64
 	BytesShipped int64
+	// Failovers counts offload attempts re-routed to another node after a
+	// failure.
+	Failovers int
+	// HostFallback is set when every storage channel failed and the query
+	// completed over the host's block-fetch path (VanillaCS degradation).
+	HostFallback bool
 	// RewrittenSQL is what actually executed after policy rewriting.
 	RewrittenSQL string
 }
@@ -95,12 +102,12 @@ func (s *Session) Query(sql string) (*QueryResult, error) {
 
 	var res *exec.Result
 	var outcome *hostengine.SplitOutcome
+	hostFallback := false
 	switch c.cfg.Mode {
 	case VanillaCS, IronSafe:
 		if len(auth.StorageIDs) == 0 {
 			return nil, ErrNoStorage
 		}
-		nodes := make([]hostengine.StorageNode, 0, len(auth.StorageIDs))
 		for _, id := range auth.StorageIDs {
 			srv := c.storageByID(id)
 			if srv == nil {
@@ -108,9 +115,20 @@ func (s *Session) Query(sql string) (*QueryResult, error) {
 			}
 			srv.InstallSessionKey(auth.SessionID, auth.SessionKey)
 			defer srv.RevokeSessionKey(auth.SessionID)
-			nodes = append(nodes, &hostengine.LocalNode{Server: srv, HostMeter: c.HostMeter, StorageMeter: c.StorageMeter})
 		}
-		res, outcome, err = c.Host.ExecuteSplit(auth.RewrittenSQL, nodes)
+		prov := c.newSessionProvider(auth.StorageIDs, auth.SessionID, auth.SessionKey)
+		defer prov.close()
+		res, outcome, err = c.Host.ExecuteSplitProvider(auth.RewrittenSQL, prov)
+		if err != nil && errors.Is(err, hostengine.ErrAllNodesFailed) && c.cfg.Mode == VanillaCS {
+			// Graceful degradation: the host mounts a surviving medium over
+			// the block-fetch path and runs the whole query locally.
+			fbRes, fbErr := c.hostFallbackExecute(auth.RewrittenSQL)
+			if fbErr != nil {
+				err = errors.Join(err, fbErr)
+			} else {
+				res, err, hostFallback = fbRes, nil, true
+			}
+		}
 	case HostOnlyNonSecure, HostOnlySecure:
 		res, err = c.Host.ExecuteLocal(c.hostDB, auth.RewrittenSQL)
 	case StorageOnlySecure:
@@ -131,10 +149,12 @@ func (s *Session) Query(sql string) (*QueryResult, error) {
 		Wall:         wall,
 		RewrittenSQL: auth.RewrittenSQL,
 	}
+	stats.HostFallback = hostFallback
 	if outcome != nil {
 		stats.Offloads = outcome.Offloads
 		stats.RowsShipped = outcome.RowsShipped
 		stats.BytesShipped = outcome.BytesShipped
+		stats.Failovers = outcome.Failovers
 	}
 	stats.Cost = c.PriceQuery(hostDelta, storageDelta, stats.Offloads)
 
