@@ -7,7 +7,7 @@ GO ?= go
 # name explicitly. `make race` extends it to the whole module.
 RACE_PKGS = ./internal/monitor ./internal/engine ./internal/pager ./internal/simtime
 
-.PHONY: all build test race race-tier1 vet lint chaos chaos-race check clean
+.PHONY: all build test race race-tier1 vet lint chaos chaos-race crashsweep crashsweep-race check clean
 
 all: check
 
@@ -41,7 +41,17 @@ chaos:
 chaos-race:
 	$(GO) test -race -count=1 ./internal/chaos ./internal/faultinject ./internal/resilience
 
-check: build vet lint test race-tier1 chaos-race
+# crashsweep runs the deterministic power-cut sweep (see DESIGN.md,
+# "Durability & crash consistency"): a power cut at every block-write
+# boundary of a journaled workload, clean and torn, must recover to exactly
+# the old or the new anchored state — plus the journal's adversarial tests.
+crashsweep:
+	$(GO) test -count=1 -run 'PowerCut|Sweep|Torn|Journal|Crash' ./internal/chaos ./internal/faultinject ./internal/securestore
+
+crashsweep-race:
+	$(GO) test -race -count=1 -run 'PowerCut|Sweep|Torn|Journal|Crash' ./internal/chaos ./internal/faultinject ./internal/securestore
+
+check: build vet lint test race-tier1 chaos-race crashsweep-race
 
 clean:
 	$(GO) clean ./...

@@ -9,6 +9,7 @@ import (
 	"ironsafe/internal/hostengine"
 	"ironsafe/internal/pager"
 	"ironsafe/internal/resilience"
+	"ironsafe/internal/securestore"
 	"ironsafe/internal/sql/exec"
 	"ironsafe/internal/storageengine"
 )
@@ -67,8 +68,14 @@ func (c *Cluster) SnapshotStorage(id string) (*MediumSnapshot, error) {
 
 // RestartStorage brings a killed node back up. If rollback is non-nil the
 // node restarts from that (stale) medium snapshot — modeling a restore from
-// an old backup or a rollback attack. The node is NOT readmitted to the
-// cluster here: ReattestStorage must succeed first.
+// an old backup or a rollback attack. The restart reopens the node's store
+// and engine from the medium, which on secure configurations runs the redo
+// journal's recovery: a node that merely crashed mid-commit comes back at a
+// consistent anchored state and may proceed to ReattestStorage, while a
+// rolled-back medium fails recovery with securestore.ErrFreshness and is
+// refused on the spot with ErrNodeNotReadmitted — the node stays down.
+// Even on success the node is NOT readmitted here: ReattestStorage must pass
+// first.
 func (c *Cluster) RestartStorage(id string, rollback *MediumSnapshot) error {
 	srv := c.storageByID(id)
 	if srv == nil {
@@ -79,6 +86,12 @@ func (c *Cluster) RestartStorage(id string, rollback *MediumSnapshot) error {
 			return fmt.Errorf("ironsafe: snapshot of %q cannot restore %q", rollback.node, id)
 		}
 		srv.Medium().RestoreBlocks(rollback.blocks)
+	}
+	if err := srv.Restart(); err != nil {
+		if errors.Is(err, securestore.ErrFreshness) {
+			return fmt.Errorf("%w: %s: reopen: %w", ErrNodeNotReadmitted, id, err)
+		}
+		return fmt.Errorf("ironsafe: restarting %s: %w", id, err)
 	}
 	return nil
 }

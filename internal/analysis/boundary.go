@@ -28,6 +28,9 @@ var boundaryTrustedPrefixes = []string{
 	// monitor then rejects), so it sees the report types — never key
 	// material.
 	"internal/faultinject",
+	// chaos boots simulated TrustZone storage devices for the power-cut
+	// crash sweep; it drives the boot/derive APIs, never key material.
+	"internal/chaos",
 	"cmd",
 }
 

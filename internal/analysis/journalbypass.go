@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// journalbypassScope is the package subtree where direct block writes are
+// outlawed: the secure store's crash consistency depends on every mutation
+// flowing through the journaled group-commit path.
+const journalbypassScope = "internal/securestore"
+
+// Journalbypass flags direct WriteBlock calls inside internal/securestore.
+// The redo journal's whole guarantee — a power cut at any write boundary
+// recovers to exactly the old or the new anchored state — holds only if
+// every medium mutation is ordered behind a journal record. A WriteBlock
+// sneaked in anywhere else (a cache flush, a "quick fix" header touch)
+// reintroduces the unjournaled-write hole the journal closed. The sanctioned
+// sites — the journal record write itself and the in-place applies of
+// commit/recovery — carry //ironsafe:allow journalbypass directives naming
+// their ordering argument. Test files are exempt: tests deliberately
+// construct torn and stale media.
+var Journalbypass = &Analyzer{
+	Name: "journalbypass",
+	Doc:  "flag direct device WriteBlock calls in internal/securestore outside the journaled commit/recovery paths",
+	Run:  runJournalbypass,
+}
+
+func runJournalbypass(pass *Pass) error {
+	if !pathInPrefixes(pass.Path, []string{journalbypassScope}) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "WriteBlock" {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"direct WriteBlock bypasses the redo journal; stage the write in a Txn (or, on the commit/recovery path itself, annotate the ordering with %s journalbypass)",
+				DirectivePrefix)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ironsafe/internal/analysis"
+	"ironsafe/internal/analysis/analysistest"
+)
+
+func TestJournalbypassDirectWrites(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Journalbypass, "internal/securestore/journalbypass")
+}
+
+func TestJournalbypassAllowDirective(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Journalbypass, "internal/securestore/journalallow")
+}
+
+// TestJournalbypassScopedToSecurestore pins that WriteBlock elsewhere is
+// fine: the pager and fault injectors write blocks as their job.
+func TestJournalbypassScopedToSecurestore(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Journalbypass, "internal/pager/devwrite")
+}

@@ -1,0 +1,16 @@
+// Package journalallow seeds journalbypass violations suppressed by allow
+// directives; the test asserts no diagnostics survive.
+package journalallow
+
+type device interface {
+	WriteBlock(idx uint32, data []byte) error
+}
+
+func commitJournal(dev device, blob []byte) error {
+	//ironsafe:allow journalbypass -- this IS the journal commit write
+	return dev.WriteBlock(7, blob)
+}
+
+func applyEntry(dev device, idx uint32, rec []byte) error {
+	return dev.WriteBlock(idx, rec) //ironsafe:allow journalbypass -- in-place apply ordered after the journal record
+}

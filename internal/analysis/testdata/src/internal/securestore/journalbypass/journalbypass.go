@@ -1,0 +1,20 @@
+// Package journalbypass seeds direct-WriteBlock violations inside the
+// securestore subtree — the unjournaled mutations the journalbypass analyzer
+// outlaws.
+package journalbypass
+
+type device interface {
+	WriteBlock(idx uint32, data []byte) error
+}
+
+type store struct {
+	dev device
+}
+
+func (s *store) flushHeader(hdr []byte) error {
+	return s.dev.WriteBlock(42, hdr) // want `direct WriteBlock bypasses the redo journal`
+}
+
+func patch(dev device, idx uint32, data []byte) error {
+	return dev.WriteBlock(idx, data) // want `direct WriteBlock bypasses the redo journal`
+}

@@ -351,8 +351,11 @@ func markMedia(c *ironsafe.Cluster) error {
 }
 
 // rollbackDrill kills the last node, restarts it from its stale pre-marker
-// snapshot, and verifies readmission refuses it; the node then restarts from
-// honest state and rejoins.
+// snapshot, and verifies the cluster refuses it; the node then restarts from
+// honest state and rejoins. On secure configurations the refusal now lands
+// at RestartStorage itself: the reopen runs the secure store's journal
+// recovery, which distinguishes a mid-commit crash (recoverable) from a
+// rolled-back medium (ErrFreshness) before re-attestation even starts.
 func rollbackDrill(c *ironsafe.Cluster, plan *faultinject.Plan, stale map[string]*ironsafe.MediumSnapshot) error {
 	ids := nodeIDs(len(c.Storage))
 	victim := ids[len(ids)-1]
@@ -362,17 +365,24 @@ func rollbackDrill(c *ironsafe.Cluster, plan *faultinject.Plan, stale map[string
 	}
 	c.KillStorage(victim)
 	plan.Record(faultinject.Crash, "drill:"+victim)
-	if err := c.RestartStorage(victim, stale[victim]); err != nil {
-		return err
-	}
-	if err := c.ReattestStorage(victim); err == nil {
-		if c.Mode() == ironsafe.IronSafe || c.Mode() == ironsafe.StorageOnlySecure {
-			return errors.New("chaos: rolled-back node was readmitted")
+	secureStore := c.Mode() == ironsafe.IronSafe || c.Mode() == ironsafe.StorageOnlySecure
+	switch err := c.RestartStorage(victim, stale[victim]); {
+	case errors.Is(err, ironsafe.ErrNodeNotReadmitted):
+		if !secureStore {
+			return fmt.Errorf("chaos: non-secure store refused a restart: %w", err)
 		}
-		// Non-secure stores cannot detect rollback; restore honest state
-		// and continue.
-	} else if !errors.Is(err, ironsafe.ErrNodeNotReadmitted) {
-		return fmt.Errorf("chaos: rollback refusal had wrong type: %w", err)
+	case err != nil:
+		return err
+	default:
+		// The reopen accepted the medium (non-secure stores cannot detect
+		// rollback); readmission is the remaining gate.
+		if err := c.ReattestStorage(victim); err == nil {
+			if secureStore {
+				return errors.New("chaos: rolled-back node was readmitted")
+			}
+		} else if !errors.Is(err, ironsafe.ErrNodeNotReadmitted) {
+			return fmt.Errorf("chaos: rollback refusal had wrong type: %w", err)
+		}
 	}
 	plan.Record(faultinject.Rollback, "drill:"+victim)
 	// Honest restart: back to the current state, readmission must pass.

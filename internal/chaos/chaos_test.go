@@ -153,8 +153,9 @@ func TestStorageKillMidOffloadSurvived(t *testing.T) {
 }
 
 // TestRollbackRestartRefused restarts a node with a stale medium snapshot:
-// the secure store's integrity sweep must refuse readmission with a typed
-// error, and the node stays quarantined until an honest restart.
+// the secure store's journal recovery must refuse the reopen with a typed
+// error at RestartStorage (a rolled-back medium is not a crash), and the
+// node stays quarantined until an honest restart.
 func TestRollbackRestartRefused(t *testing.T) {
 	c, err := ironsafe.NewCluster(ironsafe.Config{Mode: ironsafe.IronSafe, StorageNodes: 2})
 	if err != nil {
@@ -176,12 +177,9 @@ func TestRollbackRestartRefused(t *testing.T) {
 	}
 
 	c.KillStorage("storage-02")
-	if err := c.RestartStorage("storage-02", stale); err != nil {
-		t.Fatal(err)
-	}
-	err = c.ReattestStorage("storage-02")
+	err = c.RestartStorage("storage-02", stale)
 	if !errors.Is(err, ironsafe.ErrNodeNotReadmitted) {
-		t.Fatalf("rolled-back node readmission: %v, want ErrNodeNotReadmitted", err)
+		t.Fatalf("rolled-back node restart: %v, want ErrNodeNotReadmitted", err)
 	}
 	if !c.NodeDown("storage-02") {
 		t.Error("refused node left the quarantine set")

@@ -59,12 +59,47 @@ func (d *Device) WriteBlock(idx uint32, data []byte) error {
 		err := &InjectedError{Class: Crash, Site: f.Site}
 		d.plan.notifyCrash(d.node)
 		return err
+	case TornWrite:
+		// Persist a deterministic prefix of the new data over the old
+		// contents, then fail the write — the medium now holds a torn block.
+		old, rerr := d.inner.ReadBlock(idx)
+		if rerr != nil {
+			old = nil
+		}
+		cut := tornCut(f.Bit, len(data))
+		if werr := d.inner.WriteBlock(idx, tornMerge(old, data, cut)); werr != nil {
+			return werr
+		}
+		return &InjectedError{Class: TornWrite, Site: f.Site}
 	case Slow:
 		if w := d.plan.SlowDelay; w > 0 {
 			time.Sleep(w) //ironsafe:allow wallclock -- injected slow-medium latency
 		}
 	}
 	return d.inner.WriteBlock(idx, data)
+}
+
+// tornCut derives the deterministic tear offset for a block of n bytes:
+// a strict, non-empty prefix whenever the block has at least two bytes.
+func tornCut(bit, n int) int {
+	if n <= 1 {
+		return n
+	}
+	return 1 + bit%(n-1)
+}
+
+// tornMerge builds the medium contents after a torn write: the first cut
+// bytes of the new data followed by whatever the block held before beyond
+// that point — the sectors past the tear never made it to the medium.
+func tornMerge(old, data []byte, cut int) []byte {
+	if cut > len(data) {
+		cut = len(data)
+	}
+	torn := append([]byte(nil), data[:cut]...)
+	if len(old) > cut {
+		torn = append(torn, old[cut:]...)
+	}
+	return torn
 }
 
 // NumBlocks implements pager.BlockDevice (never faulted: sizing queries are

@@ -51,6 +51,11 @@ const (
 	// Rollback is recorded when the chaos harness restarts a node with a
 	// stale medium snapshot; the secure store must refuse it.
 	Rollback
+	// TornWrite persists only a prefix of the block being written (the
+	// suffix keeps its prior contents) and then fails the operation — a
+	// power cut tearing a sector-buffered write mid-block. The store's
+	// journal recovery must land on exactly the old or the new state.
+	TornWrite
 )
 
 // String names a class for logs and stats.
@@ -72,6 +77,8 @@ func (c Class) String() string {
 		return "crash"
 	case Rollback:
 		return "rollback"
+	case TornWrite:
+		return "torn-write"
 	}
 	return fmt.Sprintf("Class(%d)", int(c))
 }

@@ -1,0 +1,181 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"ironsafe/internal/pager"
+)
+
+func TestDeviceTornWritePersistsPrefixOnly(t *testing.T) {
+	dev := pager.NewMemDevice()
+	old := bytes.Repeat([]byte{0xAA}, 64)
+	if err := dev.WriteBlock(0, old); err != nil {
+		t.Fatal(err)
+	}
+	fd := WrapDevice(dev, "n1", NewPlan(5, Rule{Site: ":write", Class: TornWrite, Prob: 1, MaxCount: 1}))
+	data := bytes.Repeat([]byte{0x55}, 64)
+	err := fd.WriteBlock(0, data)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write error = %v, want injected", err)
+	}
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Class != TornWrite {
+		t.Fatalf("torn write class = %v, want TornWrite", err)
+	}
+	got, err := dev.ReadBlock(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The medium must hold a strict non-empty prefix of the new data
+	// followed by the old contents — never all-new, never all-old.
+	cut := 0
+	for cut < len(got) && got[cut] == 0x55 {
+		cut++
+	}
+	if cut == 0 || cut == len(got) {
+		t.Fatalf("torn write persisted %d/%d new bytes, want a strict non-empty prefix", cut, len(got))
+	}
+	if !bytes.Equal(got[cut:], old[cut:]) {
+		t.Error("bytes past the tear do not match the prior contents")
+	}
+	// Past MaxCount the device works again and the full write lands.
+	if err := fd.WriteBlock(0, data); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = dev.ReadBlock(0)
+	if !bytes.Equal(got, data) {
+		t.Error("post-fault write did not persist fully")
+	}
+}
+
+func TestDeviceTornWriteDeterministicPerSeed(t *testing.T) {
+	tornAt := func(seed uint64) []byte {
+		dev := pager.NewMemDevice()
+		dev.WriteBlock(3, bytes.Repeat([]byte{0xFF}, 128))
+		fd := WrapDevice(dev, "n1", NewPlan(seed, Rule{Site: ":write", Class: TornWrite, Prob: 1}))
+		fd.WriteBlock(3, make([]byte, 128))
+		got, _ := dev.ReadBlock(3)
+		return got
+	}
+	if !bytes.Equal(tornAt(11), tornAt(11)) {
+		t.Error("same seed produced different tear offsets")
+	}
+}
+
+func TestTornCutBounds(t *testing.T) {
+	for bit := 0; bit < 300; bit++ {
+		for _, n := range []int{2, 3, 64, 4096} {
+			cut := tornCut(bit, n)
+			if cut < 1 || cut >= n {
+				t.Fatalf("tornCut(%d, %d) = %d, want strict non-empty prefix", bit, n, cut)
+			}
+		}
+	}
+	if tornCut(5, 0) != 0 || tornCut(5, 1) != 1 {
+		t.Error("degenerate block sizes must tear at the block boundary")
+	}
+}
+
+func TestTornWriteClassString(t *testing.T) {
+	if TornWrite.String() != "torn-write" {
+		t.Errorf("TornWrite.String() = %q", TornWrite.String())
+	}
+}
+
+func TestPowerCutCountsAndCutsClean(t *testing.T) {
+	dev := pager.NewMemDevice()
+	pc := NewPowerCut(dev, "storage-02")
+
+	// Unarmed: pure passthrough, no counting.
+	if err := pc.WriteBlock(0, []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	if pc.Writes() != 0 {
+		t.Errorf("unarmed device counted %d writes", pc.Writes())
+	}
+
+	// failAt 0: count-only mode.
+	pc.Arm(0, false, 1)
+	for i := uint32(1); i <= 3; i++ {
+		if err := pc.WriteBlock(i, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pc.Writes() != 3 {
+		t.Errorf("counted %d writes, want 3", pc.Writes())
+	}
+
+	// Cut at write 2: write 1 lands, write 2 dies leaving nothing, and the
+	// device is off — all later I/O fails — until Revive.
+	pc.Arm(2, false, 1)
+	if err := pc.WriteBlock(10, []byte("landed")); err != nil {
+		t.Fatal(err)
+	}
+	err := pc.WriteBlock(11, []byte("lost"))
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Class != Crash {
+		t.Fatalf("cut write error = %v, want injected Crash", err)
+	}
+	if _, err := dev.ReadBlock(11); !errors.Is(err, pager.ErrBlockNotFound) {
+		t.Error("clean cut persisted data")
+	}
+	if _, err := pc.ReadBlock(10); !errors.Is(err, ErrInjected) {
+		t.Errorf("read on dead device = %v, want injected", err)
+	}
+	if err := pc.WriteBlock(12, []byte("y")); !errors.Is(err, ErrInjected) {
+		t.Errorf("write on dead device = %v, want injected", err)
+	}
+	pc.Disarm()
+	pc.Revive()
+	got, err := pc.ReadBlock(10)
+	if err != nil || !bytes.Equal(got, []byte("landed")) {
+		t.Errorf("revived read = %q, %v", got, err)
+	}
+}
+
+func TestPowerCutTornFinalWrite(t *testing.T) {
+	dev := pager.NewMemDevice()
+	old := bytes.Repeat([]byte{0xAA}, 64)
+	dev.WriteBlock(0, old)
+	pc := NewPowerCut(dev, "storage-02")
+	pc.Arm(1, true, 42)
+	err := pc.WriteBlock(0, bytes.Repeat([]byte{0x55}, 64))
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Class != TornWrite {
+		t.Fatalf("torn cut error = %v, want injected TornWrite", err)
+	}
+	got, err := dev.ReadBlock(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := 0
+	for cut < len(got) && got[cut] == 0x55 {
+		cut++
+	}
+	if cut == 0 || cut == len(got) {
+		t.Fatalf("torn cut persisted %d/%d new bytes, want strict non-empty prefix", cut, len(got))
+	}
+	if !bytes.Equal(got[cut:], old[cut:]) {
+		t.Error("suffix past the tear not preserved")
+	}
+}
+
+func TestPowerCutTearDeterministicPerSeed(t *testing.T) {
+	run := func(seed uint64) []byte {
+		dev := pager.NewMemDevice()
+		dev.WriteBlock(0, bytes.Repeat([]byte{0xFF}, 256))
+		pc := NewPowerCut(dev, "n")
+		pc.Arm(1, true, seed)
+		pc.WriteBlock(0, make([]byte, 256))
+		got, _ := dev.ReadBlock(0)
+		return got
+	}
+	if !bytes.Equal(run(9), run(9)) {
+		t.Error("same seed tore at different offsets")
+	}
+	if bytes.Equal(run(9), run(10)) {
+		t.Error("different seeds tore identically (tear not seed-driven?)")
+	}
+}

@@ -131,6 +131,29 @@ type PageStore interface {
 	NumPages() uint32
 }
 
+// StoreTxn batches page writes for one atomic group commit: either every
+// staged write becomes durable or none does, even across a power cut.
+type StoreTxn interface {
+	// WritePage stages a logical page write.
+	WritePage(idx uint32, data []byte) error
+	// Allocate reserves a fresh page index, staged as a zero page. The
+	// reservation is atomic across concurrent transactions.
+	Allocate() (uint32, error)
+	// Commit makes the staged writes durable atomically.
+	Commit() error
+	// Abort discards the staged writes.
+	Abort()
+}
+
+// TxnStore is a PageStore that supports atomic multi-page transactions.
+// Callers that hold one (e.g. HeapFile bulk loads) batch their writes into a
+// single commit; stores without transaction support degrade to per-page
+// writes.
+type TxnStore interface {
+	PageStore
+	BeginTxn() StoreTxn
+}
+
 // Pager is a metered, caching PageStore over a raw BlockDevice, used for the
 // non-secure configurations (hons, vcs).
 type Pager struct {

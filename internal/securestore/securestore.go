@@ -35,12 +35,17 @@ const (
 	recordSize = ivSize + pager.PageSize + macSize
 
 	// Device block address map: logical data pages occupy the low range,
-	// the Merkle leaf mirror lives in the meta region, and a single header
-	// block records the page count.
+	// the Merkle leaf mirror lives in the meta region, a single header
+	// block records the page count and commit sequence number, and the
+	// block below it holds the redo journal (journal.go).
 	metaBase    = uint32(0x8000_0000)
 	headerBlock = uint32(0x7FFF_FFFF)
 
 	leavesPerMetaBlock = pager.PageSize / nodeSize
+
+	// headerSize is the on-medium header: page count (u32) then the commit
+	// sequence number (u64), both little-endian.
+	headerSize = 12
 )
 
 // Options configures a Store. The zero value gives the paper's design point.
@@ -91,11 +96,18 @@ type Store struct {
 	macKey  []byte // page HMAC key
 	treeKey []byte // Merkle node key
 	rootKey []byte // device-bound root-tag key
+	jnlKey  []byte // journal-record authentication key
 
 	mu        sync.Mutex
 	levels    [][][]byte // levels[0] = leaves; last level = [root]
-	nextAlloc uint32
-	verified  map[[2]int]bool // (level, index) -> verified since last write
+	nextAlloc uint32     // committed page count
+	// nextReserve is the allocation high-water mark, >= nextAlloc: indices
+	// in [nextAlloc, nextReserve) are reserved by open transactions and
+	// become durable (as written or zero pages) at the next growing commit.
+	nextReserve uint32
+	seq         uint64          // commit sequence number, bound into the root tag
+	verified    map[[2]int]bool // (level, index) -> verified since last write
+	failed      error           // set when a commit died mid-flight; poisons the store
 }
 
 // ErrFreshness reports a detected rollback, replay, or fork of the medium.
@@ -127,6 +139,7 @@ func OpenWith(dev pager.BlockDevice, keys KeySource, anchor RootAnchor, meter *s
 		{"page-mac", &s.macKey},
 		{"merkle-tree", &s.treeKey},
 		{"merkle-root", &s.rootKey},
+		{"journal-mac", &s.jnlKey},
 	} {
 		key, err := keys.DeriveKey(k.label)
 		if err != nil {
@@ -166,39 +179,76 @@ func (a RPMBAnchor) LoadRoot(nonce []byte) ([]byte, error) {
 	return resp.Data, nil
 }
 
-// load reads the header and meta region, rebuilds the tree, and checks the
-// root against the RPMB anchor.
+// load reads the medium, then runs the journal recovery decision procedure
+// against the anchor: the store deterministically opens at exactly the old or
+// the new anchored state of the most recent commit, or fails closed.
 func (s *Store) load() error {
+	if err := s.readMediumState(); err != nil {
+		return err
+	}
+	anchored, err := s.loadAnchor()
+	if err != nil {
+		return err
+	}
+	if len(anchored) == 0 {
+		// Never anchored: the first open of this medium+anchor pairing
+		// initializes the anchor to the empty-store tag. A medium that
+		// already carries state while the anchor is empty means the anchor
+		// was wiped or swapped out from under the store.
+		if s.nextAlloc != 0 || s.seq != 0 {
+			return fmt.Errorf("%w: medium carries state but the anchor is empty", ErrFreshness)
+		}
+		return s.anchorRoot()
+	}
+	return s.recoverState(anchored)
+}
+
+// readMediumState reads the header and meta region and rebuilds the in-memory
+// tree, without judging it: recovery decides afterwards whether this state is
+// the anchored one. An absent header is the empty state; unreadable leaf
+// slots load as zero leaves so a torn meta region still produces a tag for
+// recovery to compare (a mismatch without a bridging journal fails closed).
+func (s *Store) readMediumState() error {
 	hdr, err := s.dev.ReadBlock(headerBlock)
 	if errors.Is(err, pager.ErrBlockNotFound) {
-		// Fresh medium: empty store; anchor the empty root.
 		s.nextAlloc = 0
+		s.seq = 0
 		s.rebuildLevels(nil)
-		return s.anchorRoot()
+		return nil
 	}
 	if err != nil {
 		return fmt.Errorf("securestore: reading header: %w", err)
 	}
-	if len(hdr) < 4 {
-		return fmt.Errorf("securestore: short header")
+	if len(hdr) < headerSize {
+		// A torn write of the first-ever header leaves a short block. Zero-
+		// pad and parse best-effort: the resulting tag matches the anchor
+		// only if the bytes are genuine, and recovery fails closed (or
+		// redoes the journal) otherwise — the tag, not the header, is the
+		// integrity gate.
+		hdr = append(append([]byte(nil), hdr...), make([]byte, headerSize-len(hdr))...)
 	}
-	n := binary.LittleEndian.Uint32(hdr)
+	n := binary.LittleEndian.Uint32(hdr[0:4])
 	leaves := make([][]byte, n)
 	for i := uint32(0); i < n; i++ {
 		blk := metaBase + i/leavesPerMetaBlock
 		buf, err := s.dev.ReadBlock(blk)
-		if err != nil {
+		if err != nil && !errors.Is(err, pager.ErrBlockNotFound) {
 			return fmt.Errorf("securestore: reading meta block %d: %w", blk, err)
 		}
 		off := int(i%leavesPerMetaBlock) * nodeSize
-		if off+nodeSize > len(buf) {
-			return fmt.Errorf("securestore: meta block %d truncated", blk)
+		leaf := make([]byte, nodeSize)
+		if off+nodeSize <= len(buf) {
+			copy(leaf, buf[off:off+nodeSize])
 		}
-		leaves[i] = append([]byte(nil), buf[off:off+nodeSize]...)
+		leaves[i] = leaf
 	}
 	s.nextAlloc = n
+	s.seq = binary.LittleEndian.Uint64(hdr[4:12])
+	if s.nextReserve < n {
+		s.nextReserve = n
+	}
 	s.rebuildLevels(leaves)
-	return s.checkRootAnchor()
+	return nil
 }
 
 // rebuildLevels constructs the in-memory (untrusted-mirror) tree from leaves.
@@ -255,13 +305,17 @@ func (s *Store) root() []byte {
 	return top[0]
 }
 
-// rootTag binds the root to the device key for RPMB anchoring.
+// rootTag binds the root, the page count, and the commit sequence number to
+// the device key for RPMB anchoring. Binding seq means two states with
+// identical content but different commit histories carry different tags, so
+// a stale journal record can never masquerade as the bridge to the anchor.
 func (s *Store) rootTag() []byte {
 	mac := hmac.New(sha256.New, s.rootKey)
 	mac.Write([]byte("root|"))
 	mac.Write(s.root())
-	var b [4]byte
-	binary.LittleEndian.PutUint32(b[:], s.nextAlloc)
+	var b [12]byte
+	binary.LittleEndian.PutUint32(b[0:4], s.nextAlloc)
+	binary.LittleEndian.PutUint64(b[4:12], s.seq)
 	mac.Write(b[:])
 	return mac.Sum(nil)
 }
@@ -274,15 +328,25 @@ func (s *Store) anchorRoot() error {
 	return nil
 }
 
-// checkRootAnchor compares the recomputed root tag with the anchored copy.
-func (s *Store) checkRootAnchor() error {
+// loadAnchor reads the anchored tag with a fresh nonce; empty means the
+// anchor slot has never been written.
+func (s *Store) loadAnchor() ([]byte, error) {
 	nonce := make([]byte, 16)
 	if _, err := rand.Read(nonce); err != nil {
-		return err
+		return nil, err
 	}
 	stored, err := s.anchor.LoadRoot(nonce)
 	if err != nil {
-		return fmt.Errorf("securestore: reading root anchor: %w", err)
+		return nil, fmt.Errorf("securestore: reading root anchor: %w", err)
+	}
+	return stored, nil
+}
+
+// checkRootAnchor compares the recomputed root tag with the anchored copy.
+func (s *Store) checkRootAnchor() error {
+	stored, err := s.loadAnchor()
+	if err != nil {
+		return err
 	}
 	if !hmac.Equal(stored, s.rootTag()) {
 		return ErrFreshness
@@ -297,88 +361,31 @@ func (s *Store) NumPages() uint32 {
 	return s.nextAlloc
 }
 
-// Allocate implements pager.PageStore.
+// Allocate implements pager.PageStore as a single-operation transaction: the
+// index reservation and the commit are atomic, so concurrent Allocate calls
+// can never hand out the same page (the pre-journal implementation read
+// nextAlloc under the lock but wrote the page after releasing it).
 func (s *Store) Allocate() (uint32, error) {
-	s.mu.Lock()
-	idx := s.nextAlloc
-	s.mu.Unlock()
-	if err := s.WritePage(idx, nil); err != nil {
+	t := s.Begin()
+	idx, err := t.Allocate()
+	if err != nil {
+		return 0, err
+	}
+	if err := t.Commit(); err != nil {
 		return 0, err
 	}
 	return idx, nil
 }
 
-// WritePage encrypts, MACs, and stores the page, updates the Merkle path and
-// meta mirror, and re-anchors the root in RPMB.
+// WritePage encrypts, MACs, and stores the page as a single-page group
+// commit: the write goes through the redo journal, so a power cut at any
+// point leaves the store recoverable to exactly the old or the new state.
 func (s *Store) WritePage(idx uint32, data []byte) error {
-	if len(data) > pager.PageSize {
-		return fmt.Errorf("securestore: page %d write of %d bytes exceeds page size", idx, len(data))
-	}
-	plain := make([]byte, pager.PageSize)
-	copy(plain, data)
-
-	record, recordMAC, err := s.sealPage(idx, plain)
-	if err != nil {
+	t := s.Begin()
+	if err := t.WritePage(idx, data); err != nil {
 		return err
 	}
-	if err := s.dev.WriteBlock(idx, record); err != nil {
-		return err
-	}
-	s.meter.PagesWritten.Add(1)
-	s.meter.PagesEncrypted.Add(1)
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	leaf := s.leafHash(idx, recordMAC)
-	oldLen := len(s.levels[0])
-	if int(idx) >= oldLen {
-		grown := make([][]byte, idx+1)
-		copy(grown, s.levels[0])
-		empty := s.leafHash(0, nil)
-		for i := oldLen; i < len(grown); i++ {
-			grown[i] = empty
-		}
-		s.levels[0] = grown
-	}
-	s.levels[0][idx] = leaf
-	if int(idx) >= oldLen && oldLen > 0 {
-		// Growth can shift the child range of the boundary node; refresh
-		// the old tail's parent chain before the new leaf's.
-		s.updatePath(oldLen - 1)
-	}
-	s.updatePath(int(idx))
-	if idx+1 > s.nextAlloc {
-		s.nextAlloc = idx + 1
-	}
-	s.verified = map[[2]int]bool{} // writes invalidate the verified cache
-
-	// Persist the leaf to the meta mirror and the count to the header.
-	if err := s.persistLeaf(idx, leaf); err != nil {
-		return err
-	}
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], s.nextAlloc)
-	if err := s.dev.WriteBlock(headerBlock, hdr[:]); err != nil {
-		return err
-	}
-	return s.anchorRoot()
-}
-
-// persistLeaf writes one leaf hash into the meta region.
-func (s *Store) persistLeaf(idx uint32, leaf []byte) error {
-	blk := metaBase + idx/leavesPerMetaBlock
-	buf, err := s.dev.ReadBlock(blk)
-	if errors.Is(err, pager.ErrBlockNotFound) {
-		buf = make([]byte, pager.PageSize)
-	} else if err != nil {
-		return fmt.Errorf("securestore: meta block %d: %w", blk, err)
-	}
-	if len(buf) < pager.PageSize {
-		buf = append(buf, make([]byte, pager.PageSize-len(buf))...)
-	}
-	off := int(idx%leavesPerMetaBlock) * nodeSize
-	copy(buf[off:off+nodeSize], leaf)
-	return s.dev.WriteBlock(blk, buf)
+	return t.Commit()
 }
 
 // updatePath recomputes internal nodes from leaf idx to the root, charging
@@ -421,6 +428,11 @@ func (s *Store) updatePath(idx int) {
 // ReadPage fetches, authenticates, decrypts, and freshness-checks a page.
 func (s *Store) ReadPage(idx uint32) ([]byte, error) {
 	s.mu.Lock()
+	if s.failed != nil {
+		err := s.failed
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %w", ErrStoreFailed, err)
+	}
 	if idx >= s.nextAlloc {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("securestore: page %d not allocated", idx)
@@ -498,6 +510,11 @@ func (s *Store) TreeBytes() int64 {
 // VerifyAll re-verifies every allocated page against the anchored root.
 func (s *Store) VerifyAll() error {
 	s.mu.Lock()
+	if s.failed != nil {
+		err := s.failed
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %w", ErrStoreFailed, err)
+	}
 	n := s.nextAlloc
 	s.mu.Unlock()
 	if err := s.checkRootAnchor(); err != nil {

@@ -457,10 +457,28 @@ func TestHeaderTamperDetectedAtOpen(t *testing.T) {
 		idx, _ := s.Allocate()
 		s.WritePage(idx, []byte{byte(i)})
 	}
-	// Shrink the claimed page count (suppressing recent pages).
+	// Shrink the claimed page count (suppressing recent pages). The last
+	// commit's journal record still bridges to the anchored state, so
+	// recovery repairs the header by redo and lands on the true state —
+	// the tamper achieves nothing.
 	hdr := make([]byte, 4)
 	hdr[0] = 2
 	e.dev.WriteBlock(headerBlock, hdr)
+	s2, err := Open(e.dev, e.nw, e.meter, Options{})
+	if err != nil {
+		t.Fatalf("header tamper with intact journal: %v", err)
+	}
+	if s2.NumPages() != 4 {
+		t.Errorf("repaired store has %d pages, want 4", s2.NumPages())
+	}
+	if got, err := s2.ReadPage(3); err != nil || got[0] != 3 {
+		t.Errorf("suppressed page not restored: %v %v", got[:1], err)
+	}
+
+	// With the journal destroyed too, nothing bridges the mismatch: the
+	// open must fail closed.
+	e.dev.WriteBlock(headerBlock, hdr)
+	e.dev.WriteBlock(journalBlock, []byte("not a journal"))
 	if _, err := Open(e.dev, e.nw, e.meter, Options{}); !errors.Is(err, ErrFreshness) {
 		t.Errorf("truncated header open = %v, want ErrFreshness", err)
 	}

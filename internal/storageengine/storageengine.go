@@ -50,6 +50,11 @@ type Config struct {
 	Meter *simtime.Meter
 	// CacheSize is the plain pager's page cache capacity.
 	CacheSize int
+	// MediumWrapper, when set, wraps the node's raw medium before the page
+	// store opens over it — the chaos and crash-sweep harnesses hook fault
+	// injectors in here. The wrapped device is reused across Restart, so an
+	// armed injector keeps faulting the reopened store.
+	MediumWrapper func(node string, dev pager.BlockDevice) pager.BlockDevice
 }
 
 // Server is one storage system node.
@@ -59,6 +64,7 @@ type Server struct {
 	secure *trustzone.SecureWorld
 	nw     *trustzone.NormalWorld
 	medium *pager.MemDevice
+	dev    pager.BlockDevice // medium, possibly wrapped by cfg.MediumWrapper
 	store  pager.PageStore
 	db     *engine.DB
 
@@ -101,25 +107,48 @@ func New(cfg Config) (*Server, error) {
 		booted:   true,
 		sessions: map[string][]byte{},
 	}
-	if cfg.Secure {
-		store, err := securestore.Open(s.medium, nw, cfg.Meter, cfg.StoreOptions)
+	s.dev = s.medium
+	if cfg.MediumWrapper != nil {
+		s.dev = cfg.MediumWrapper(cfg.DeviceID, s.dev)
+	}
+	if err := s.openStore(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// openStore (re)opens the page store and the database engine over the node's
+// medium. On the secure configurations this runs the secure store's journal
+// recovery: a medium crashed mid-commit deterministically resumes at the old
+// or the new anchored state, while a rolled-back medium fails with
+// securestore.ErrFreshness.
+func (s *Server) openStore() error {
+	if s.cfg.Secure {
+		store, err := securestore.Open(s.dev, s.nw, s.cfg.Meter, s.cfg.StoreOptions)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		s.store = store
 	} else {
-		cache := cfg.CacheSize
+		cache := s.cfg.CacheSize
 		if cache == 0 {
 			cache = 256
 		}
-		s.store = pager.NewPager(s.medium, cfg.Meter, cache)
+		s.store = pager.NewPager(s.dev, s.cfg.Meter, cache)
 	}
-	db, err := engine.Open(s.store, cfg.Meter)
+	db, err := engine.Open(s.store, s.cfg.Meter)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	s.db = db
-	return s, nil
+	return nil
+}
+
+// Restart models the node powering back on after a crash: the store and
+// engine reopen from whatever the medium holds, running journal recovery on
+// the way up. The caller decides readmission from the returned error.
+func (s *Server) Restart() error {
+	return s.openStore()
 }
 
 // Attest invokes the attestation TA (monitor.StorageAttester).

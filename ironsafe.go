@@ -110,6 +110,10 @@ type Config struct {
 	// ConnWrapper, when set with ChannelTransport, wraps the host side of
 	// each storage channel (fault injection hook). node is the storage ID.
 	ConnWrapper func(node string, conn net.Conn) net.Conn
+	// StorageDeviceWrapper, when set, wraps each storage node's raw medium
+	// before the page store opens over it (block-level fault injection —
+	// the crash-consistency sweep's power-cut hook). node is the storage ID.
+	StorageDeviceWrapper func(node string, dev pager.BlockDevice) pager.BlockDevice
 	// Resilience tunes deadlines, retries, and circuit breaking for the
 	// cluster's distributed paths; nil means defaults with virtual backoff
 	// (no real sleeping — appropriate for tests and simulation).
@@ -208,9 +212,10 @@ func NewCluster(cfg Config) (*Cluster, error) {
 				CacheVerifiedSubtrees: cfg.CacheVerifiedSubtrees,
 				GCM:                   cfg.GCMPages,
 			},
-			MemoryBudget: cfg.StorageMemoryBudget,
-			Cores:        cfg.StorageCores,
-			Meter:        c.StorageMeter,
+			MemoryBudget:  cfg.StorageMemoryBudget,
+			Cores:         cfg.StorageCores,
+			Meter:         c.StorageMeter,
+			MediumWrapper: cfg.StorageDeviceWrapper,
 		})
 		if err != nil {
 			return nil, err
