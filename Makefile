@@ -7,7 +7,7 @@ GO ?= go
 # name explicitly. `make race` extends it to the whole module.
 RACE_PKGS = ./internal/monitor ./internal/engine ./internal/pager ./internal/simtime
 
-.PHONY: all build test race race-tier1 vet lint chaos chaos-race crashsweep crashsweep-race check clean
+.PHONY: all build test race race-tier1 vet lint chaos chaos-race crashsweep crashsweep-race rebuildsweep rebuildsweep-race check clean
 
 all: check
 
@@ -51,7 +51,18 @@ crashsweep:
 crashsweep-race:
 	$(GO) test -race -count=1 -run 'PowerCut|Sweep|Torn|Journal|Crash' ./internal/chaos ./internal/faultinject ./internal/securestore
 
-check: build vet lint test race-tier1 chaos-race crashsweep-race
+# rebuildsweep runs the replica-repair suite (see DESIGN.md, "Replica repair
+# & membership epochs"): the attested anti-entropy rebuild end to end, plus a
+# deterministic fault sweep that cuts the transfer at every channel operation
+# and every device write — each point must leave the target either fully
+# consistent with the donor or still quarantined, never half-admitted.
+rebuildsweep:
+	$(GO) test -count=1 -run 'Rebuild|Epoch|Membership|Quiesce|Readmit' ./internal/chaos ./internal/securestore .
+
+rebuildsweep-race:
+	$(GO) test -race -count=1 -run 'Rebuild|Epoch|Membership|Quiesce|Readmit' ./internal/chaos ./internal/securestore .
+
+check: build vet lint test race-tier1 chaos-race crashsweep-race rebuildsweep-race
 
 clean:
 	$(GO) clean ./...

@@ -23,6 +23,25 @@ import (
 // checks (integrity sweep or re-attestation) and stays quarantined.
 var ErrNodeNotReadmitted = errors.New("ironsafe: storage node failed readmission")
 
+// ErrNodeNotDown reports a restart/rebuild request for a node that was never
+// killed — restarting a live node would silently reopen its store underneath
+// in-flight offloads.
+var ErrNodeNotDown = errors.New("ironsafe: storage node is not down")
+
+// ErrEpochFenced reports an offload reply stamped with a stale membership
+// epoch: the node served the request from before its eviction (a zombie) and
+// the reply must not be trusted, fresh as its channel may look.
+var ErrEpochFenced = errors.New("ironsafe: offload reply from a fenced epoch")
+
+// Epoch reports the current cluster membership epoch. It advances on every
+// eviction (KillStorage); surviving nodes learn the new value and stamp it on
+// their replies, so a fenced node's replies betray their staleness.
+func (c *Cluster) Epoch() uint64 {
+	c.nodeMu.Lock()
+	defer c.nodeMu.Unlock()
+	return c.epoch
+}
+
 // Health exposes the cluster's per-node health tracker (circuit state, down
 // set) for operators and tests.
 func (c *Cluster) Health() *resilience.Tracker { return c.health }
@@ -35,18 +54,37 @@ func (c *Cluster) NodeDown(id string) bool {
 }
 
 // KillStorage models a node crash: the node stops accepting offloads, its
-// monitor registration is revoked (so new authorizations exclude it), and
-// the health tracker marks it down. Queries in flight fail over to surviving
-// nodes.
+// monitor registration is revoked (so new authorizations exclude it), the
+// health tracker marks it down, and the membership epoch advances. The down
+// set and the health tracker move together under nodeMu, so no concurrent
+// ReattestStorage can observe the node half-killed (down but healthy, or
+// vice versa). The new epoch is broadcast to the surviving nodes only — the
+// killed node keeps serving its stale epoch, which is exactly how the host
+// unmasks it if it keeps answering. Queries in flight fail over.
 func (c *Cluster) KillStorage(id string) {
 	c.nodeMu.Lock()
 	already := c.down[id]
 	c.down[id] = true
+	var epoch uint64
+	var live []*storageengine.Server
+	if !already {
+		c.epoch++
+		epoch = c.epoch
+		c.health.MarkDown(id)
+		for _, srv := range c.Storage {
+			sid, _, _ := srv.Info()
+			if sid != id && !c.down[sid] {
+				live = append(live, srv)
+			}
+		}
+	}
 	c.nodeMu.Unlock()
 	if already {
 		return
 	}
-	c.health.MarkDown(id)
+	for _, srv := range live {
+		srv.SetEpoch(epoch)
+	}
 	c.Monitor.RevokeStorage(id)
 }
 
@@ -57,13 +95,17 @@ type MediumSnapshot struct {
 	blocks map[uint32][]byte
 }
 
-// SnapshotStorage captures the node's current medium state.
+// SnapshotStorage captures the node's current medium state. On secure
+// configurations the capture is quiesced inside the store's commit lock, so
+// it always lands on a transaction boundary: restoring the snapshot later
+// yields a cleanly-stale medium (refused by the freshness check), never a
+// torn one (refused as corruption — a different, misleading failure).
 func (c *Cluster) SnapshotStorage(id string) (*MediumSnapshot, error) {
 	srv := c.storageByID(id)
 	if srv == nil {
 		return nil, fmt.Errorf("ironsafe: unknown storage node %q", id)
 	}
-	return &MediumSnapshot{node: id, blocks: srv.Medium().SnapshotBlocks()}, nil
+	return &MediumSnapshot{node: id, blocks: srv.SnapshotMedium()}, nil
 }
 
 // RestartStorage brings a killed node back up. If rollback is non-nil the
@@ -80,6 +122,15 @@ func (c *Cluster) RestartStorage(id string, rollback *MediumSnapshot) error {
 	srv := c.storageByID(id)
 	if srv == nil {
 		return fmt.Errorf("ironsafe: unknown storage node %q", id)
+	}
+	c.nodeMu.Lock()
+	down, inRebuild := c.down[id], c.rebuilding[id]
+	c.nodeMu.Unlock()
+	if !down {
+		return fmt.Errorf("%w: %s: restart refused", ErrNodeNotDown, id)
+	}
+	if inRebuild {
+		return fmt.Errorf("ironsafe: %s: rebuild in flight; restart refused", id)
 	}
 	if rollback != nil {
 		if rollback.node != id {
@@ -106,18 +157,31 @@ func (c *Cluster) ReattestStorage(id string) error {
 	if srv == nil {
 		return fmt.Errorf("ironsafe: unknown storage node %q", id)
 	}
-	// Integrity/freshness sweep first: a node restarted with stale state
-	// must be refused before it can serve a single offload.
+	// Integrity/freshness sweep first: a node restarted with stale state —
+	// or still carrying a rebuild marker — must be refused before it can
+	// serve a single offload.
 	if err := srv.VerifyStore(); err != nil {
 		return fmt.Errorf("%w: %s: integrity sweep: %w", ErrNodeNotReadmitted, id, err)
 	}
 	if err := c.Monitor.RegisterStorage("ironsafe-vendor", &storageAdapter{srv}); err != nil {
 		return fmt.Errorf("%w: %s: attestation: %w", ErrNodeNotReadmitted, id, err)
 	}
+	// The down-set removal and the health MarkUp happen together under
+	// nodeMu: a concurrent KillStorage serializes before or after the whole
+	// readmission, never between its two halves.
 	c.nodeMu.Lock()
+	if c.rebuilding[id] {
+		c.nodeMu.Unlock()
+		return fmt.Errorf("%w: %s: rebuild in flight", ErrNodeNotReadmitted, id)
+	}
+	//ironsafe:allow readmit -- sole legitimate readmission site: sweep and attestation passed above
 	delete(c.down, id)
-	c.nodeMu.Unlock()
+	//ironsafe:allow readmit -- paired with the down-set removal under nodeMu
 	c.health.MarkUp(id)
+	epoch := c.epoch
+	c.nodeMu.Unlock()
+	// Catch the node up to the membership epoch so its replies are accepted.
+	srv.SetEpoch(epoch)
 	return nil
 }
 
@@ -172,13 +236,45 @@ func (p *sessionProvider) Connect(id string) (hostengine.StorageNode, error) {
 	if srv == nil {
 		return nil, fmt.Errorf("ironsafe: unknown storage node %q", id)
 	}
-	node, err := p.c.connectNode(srv, id, p.sessionID, p.sessionKey)
+	inner, err := p.c.connectNode(srv, id, p.sessionID, p.sessionKey)
 	if err != nil {
 		p.c.health.Report(id, false)
 		return nil, err
 	}
+	node := &fencedNode{StorageNode: inner, c: p.c}
 	p.cached[id] = node
 	return node, nil
+}
+
+// fencedNode enforces membership-epoch fencing on every offload reply: a
+// reply stamped with anything but the current epoch came from a node that
+// missed an eviction, and is rejected with ErrEpochFenced. The failure flows
+// through the ordinary failover path, so the host simply retries elsewhere.
+type fencedNode struct {
+	hostengine.StorageNode
+	c *Cluster
+}
+
+func (f *fencedNode) Offload(sql string) (*exec.Result, int64, error) {
+	res, wire, err := f.StorageNode.Offload(sql)
+	if err != nil {
+		return nil, wire, err
+	}
+	if ep, ok := f.StorageNode.(hostengine.EpochReporter); ok {
+		if got, want := ep.ReplyEpoch(), f.c.Epoch(); got != want {
+			return nil, wire, fmt.Errorf("%w: %s replied at epoch %d, cluster at %d",
+				ErrEpochFenced, f.NodeID(), got, want)
+		}
+	}
+	return res, wire, nil
+}
+
+// Close forwards to the wrapped node so cached channels are torn down.
+func (f *fencedNode) Close() error {
+	if closer, ok := f.StorageNode.(interface{ Close() error }); ok {
+		return closer.Close()
+	}
+	return nil
 }
 
 // Report implements hostengine.NodeProvider. A failure drops the cached
@@ -213,21 +309,30 @@ func (c *Cluster) connectNode(srv *storageengine.Server, id, sessionID string, s
 	if !c.cfg.ChannelTransport {
 		return &hostengine.LocalNode{Server: srv, HostMeter: c.HostMeter, StorageMeter: c.StorageMeter}, nil
 	}
+	return c.dialNodeChannel(srv, id, sessionID, sessionKey)
+}
+
+// dialNodeChannel handshakes a monitor-keyed secure channel to srv over an
+// in-process pipe speaking the full wire protocol, optionally wrapped by the
+// fault-injection hook. site is the name the fault hook sees — node id for
+// query channels, "rebuild:<id>" for rebuild control channels, so faults can
+// target one leg of a rebuild without touching queries.
+func (c *Cluster) dialNodeChannel(srv *storageengine.Server, site, sessionID string, sessionKey []byte) (*hostengine.RemoteNode, error) {
 	hostSide, storageSide := net.Pipe()
 	go srv.ServeConn(storageSide)
 	var conn net.Conn = hostSide
 	if c.cfg.ConnWrapper != nil {
-		conn = c.cfg.ConnWrapper(id, hostSide)
+		conn = c.cfg.ConnWrapper(site, hostSide)
 	}
 	var node *hostengine.RemoteNode
 	err := resilience.WithConnDeadline(conn, c.res.HandshakeTimeout, func() error {
 		var err error
-		node, err = hostengine.NewRemoteNode(conn, id, sessionID, sessionKey, c.HostMeter)
+		node, err = hostengine.NewRemoteNode(conn, site, sessionID, sessionKey, c.HostMeter)
 		return err
 	})
 	if err != nil {
 		storageSide.Close()
-		return nil, fmt.Errorf("ironsafe: channel to %s: %w", id, err)
+		return nil, fmt.Errorf("ironsafe: channel to %s: %w", site, err)
 	}
 	if c.res.IOTimeout > 0 {
 		node.Conn.SetIOTimeout(c.res.IOTimeout)

@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// readmitExemptPrefixes is where the health tracker itself lives: its own
+// package may manipulate per-node state freely — the invariant governs who
+// may CALL readmission back into the cluster.
+var readmitExemptPrefixes = []string{"internal/resilience"}
+
+// Readmit flags membership readmission performed outside the attested
+// protocol. A quarantined node rejoins the offload candidate set only
+// through ReattestStorage — integrity sweep, fresh attestation, epoch
+// handoff — and that one site pairs the down-set removal with the health
+// tracker's MarkUp under the membership lock. Any other `delete(x.down, id)`
+// or `.MarkUp(id)` is a half-admission: a node serving queries without
+// having proven its store matches the RPMB anchor, or a health record
+// resurrected while the membership map still fences the node. The sanctioned
+// pair carries //ironsafe:allow readmit directives. Test files are exempt:
+// tests deliberately drive nodes through broken admission orders.
+var Readmit = &Analyzer{
+	Name: "readmit",
+	Doc:  "flag down-set removals and health MarkUp calls outside the attested readmission protocol",
+	Run:  runReadmit,
+}
+
+func runReadmit(pass *Pass) error {
+	if pathInPrefixes(pass.Path, readmitExemptPrefixes) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "delete" && len(call.Args) == 2 {
+					if sel, ok := call.Args[0].(*ast.SelectorExpr); ok && sel.Sel.Name == "down" {
+						pass.Reportf(call.Pos(),
+							"down-set removal readmits a node without attestation; route readmission through ReattestStorage (or annotate the sanctioned site with %s readmit)",
+							DirectivePrefix)
+					}
+				}
+			case *ast.SelectorExpr:
+				if fun.Sel.Name == "MarkUp" {
+					pass.Reportf(call.Pos(),
+						"health MarkUp readmits a node without attestation; route readmission through ReattestStorage (or annotate the sanctioned site with %s readmit)",
+						DirectivePrefix)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ironsafe/internal/analysis"
+	"ironsafe/internal/analysis/analysistest"
+)
+
+func TestReadmitOutsideProtocol(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Readmit, "readmit")
+}
+
+func TestReadmitAllowDirective(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Readmit, "readmitallow")
+}
+
+// TestReadmitExemptsHealthTracker pins that the health tracker's own package
+// may manipulate per-node state: the invariant governs its callers.
+func TestReadmitExemptsHealthTracker(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Readmit, "internal/resilience/markup")
+}

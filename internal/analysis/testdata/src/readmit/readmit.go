@@ -1,0 +1,24 @@
+// Package readmit seeds membership readmissions performed outside the
+// attested protocol — the half-admissions the readmit analyzer outlaws.
+package readmit
+
+type health interface {
+	MarkUp(id string)
+}
+
+type cluster struct {
+	down   map[string]bool
+	health health
+}
+
+func (c *cluster) sneakBackIn(id string) {
+	delete(c.down, id) // want `down-set removal readmits a node without attestation`
+}
+
+func (c *cluster) resurrect(id string) {
+	c.health.MarkUp(id) // want `health MarkUp readmits a node without attestation`
+}
+
+func unrelatedDelete(m map[string]bool, id string) {
+	delete(m, id) // a plain map delete is not a membership transition
+}

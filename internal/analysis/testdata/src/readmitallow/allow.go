@@ -1,0 +1,18 @@
+// Package readmitallow seeds readmit violations suppressed by allow
+// directives; the test asserts no diagnostics survive.
+package readmitallow
+
+type health interface {
+	MarkUp(id string)
+}
+
+type cluster struct {
+	down   map[string]bool
+	health health
+}
+
+func (c *cluster) reattest(id string) {
+	//ironsafe:allow readmit -- sole legitimate readmission site, behind sweep+attestation
+	delete(c.down, id)
+	c.health.MarkUp(id) //ironsafe:allow readmit -- paired with the down-set removal above
+}

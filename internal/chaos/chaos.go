@@ -24,6 +24,7 @@ import (
 	"ironsafe/internal/faultinject"
 	"ironsafe/internal/hostengine"
 	"ironsafe/internal/resilience"
+	"ironsafe/internal/securestore"
 	"ironsafe/internal/sql/exec"
 	"ironsafe/internal/tpch"
 	"ironsafe/internal/transport"
@@ -143,7 +144,15 @@ func classify(err error) string {
 	case err == nil:
 		return "ok"
 	case errors.Is(err, ironsafe.ErrNodeNotReadmitted):
+		// Checked before ErrRebuilding: a readmission refusal may wrap the
+		// store's rebuild-marker error and must keep its own class.
 		return "not-readmitted"
+	case errors.Is(err, ironsafe.ErrEpochFenced):
+		return "epoch-fenced"
+	case errors.Is(err, ironsafe.ErrNodeNotDown):
+		return "not-down"
+	case errors.Is(err, securestore.ErrRebuilding):
+		return "rebuilding"
 	case errors.Is(err, hostengine.ErrAllNodesFailed):
 		return "all-nodes-failed"
 	case errors.Is(err, ironsafe.ErrNoStorage):

@@ -247,6 +247,18 @@ func (p *Plan) Decide(site string) Fault {
 	return Fault{Class: None, Site: site}
 }
 
+// OpsAt reports how many operations site has decided so far — the chaos
+// rebuild sweep counts a clean pass's operations per site, then replays with
+// a fault armed at each ordinal.
+func (p *Plan) OpsAt(site string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if s, ok := p.streams[site]; ok {
+		return s.ops
+	}
+	return 0
+}
+
 // Record counts a fault the harness injected itself (Crash scheduling,
 // Rollback restarts) so Stats covers every class exercised.
 func (p *Plan) Record(class Class, site string) {

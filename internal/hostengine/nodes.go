@@ -1,6 +1,7 @@
 package hostengine
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -21,6 +22,8 @@ type LocalNode struct {
 	Server       *storageengine.Server
 	HostMeter    *simtime.Meter
 	StorageMeter *simtime.Meter
+
+	lastEpoch uint64 // membership epoch stamped on the most recent reply
 }
 
 // NodeID implements StorageNode.
@@ -36,6 +39,7 @@ func (n *LocalNode) Offload(sql string) (*exec.Result, int64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	n.lastEpoch = n.Server.Epoch()
 	blob, err := exec.EncodeResult(res)
 	if err != nil {
 		return nil, 0, err
@@ -54,10 +58,23 @@ func (n *LocalNode) Offload(sql string) (*exec.Result, int64, error) {
 	return res, wire, nil
 }
 
+// ReplyEpoch implements EpochReporter.
+func (n *LocalNode) ReplyEpoch() uint64 { return n.lastEpoch }
+
+// EpochReporter is implemented by storage nodes whose offload replies carry
+// the cluster membership epoch. The cluster's fencing wrapper compares the
+// reported epoch against the current one and rejects stale replies — a node
+// that missed its eviction (a zombie) can never serve a query.
+type EpochReporter interface {
+	ReplyEpoch() uint64
+}
+
 // RemoteNode is a StorageNode over a monitor-keyed secure channel.
 type RemoteNode struct {
 	ID   string
 	Conn *transport.SecureConn
+
+	lastEpoch uint64 // membership epoch stamped on the most recent reply
 }
 
 // NewRemoteNode runs the session preamble and monitor-keyed handshake over
@@ -128,12 +145,19 @@ func (n *RemoteNode) Offload(sql string) (*exec.Result, int64, error) {
 	if typ == "error" {
 		return nil, 0, errors.New("hostengine: storage error: " + string(payload))
 	}
-	res, err := exec.DecodeResult(payload)
+	if len(payload) < 8 {
+		return nil, 0, errors.New("hostengine: result frame too short for epoch stamp")
+	}
+	n.lastEpoch = binary.LittleEndian.Uint64(payload[:8])
+	res, err := exec.DecodeResult(payload[8:])
 	if err != nil {
 		return nil, 0, err
 	}
 	return res, int64(len(payload)), nil
 }
+
+// ReplyEpoch implements EpochReporter.
+func (n *RemoteNode) ReplyEpoch() uint64 { return n.lastEpoch }
 
 // Close ends the channel. A failed goodbye is reported alongside the close
 // error rather than dropped: on a faulted channel it is often the first

@@ -281,6 +281,11 @@ type AuthRequest struct {
 	ExecPolicy string // client's execution policy source ("" = none)
 	AccessDate string // YYYY-MM-DD, for timely-deletion filters
 	HostID     string
+	// Epoch is the cluster membership epoch at authorization time. Binding
+	// it into the signed proof pins the query to the membership view it was
+	// authorized under: a proof minted before an eviction cannot vouch for
+	// execution after it.
+	Epoch uint64
 }
 
 // Authorization is the monitor's approval: session credentials, the
@@ -302,12 +307,16 @@ type Proof struct {
 	PolicyHash []byte
 	HostID     string
 	StorageIDs []string
+	Epoch      uint64 // cluster membership epoch the authorization is bound to
 	Signature  []byte
 }
 
 func proofDigest(p *Proof) []byte {
 	h := sha256.New()
-	h.Write([]byte("ironsafe-proof-v1|"))
+	h.Write([]byte("ironsafe-proof-v2|"))
+	var e [8]byte
+	binary.BigEndian.PutUint64(e[:], p.Epoch)
+	h.Write(e[:])
 	h.Write([]byte(p.SessionID))
 	h.Write([]byte{'|'})
 	h.Write([]byte(p.ClientKey))
@@ -475,6 +484,7 @@ func (m *Monitor) Authorize(req AuthRequest) (*Authorization, error) {
 		PolicyHash: ph[:],
 		HostID:     req.HostID,
 		StorageIDs: compliantStorage,
+		Epoch:      req.Epoch,
 	}
 	proof.Signature = ed25519.Sign(m.signKey, proofDigest(&proof))
 

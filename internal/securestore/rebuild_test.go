@@ -1,0 +1,371 @@
+package securestore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"ironsafe/internal/pager"
+)
+
+// fillDonor commits n pages to s, one page per group commit, so the donor's
+// seq diverges from whatever chunking the importer uses.
+func fillDonor(t *testing.T, s *Store, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		idx, err := s.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.WritePage(idx, []byte(fmt.Sprintf("donor page %d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// importAll streams the donor's pages into rs in chunks of two.
+func importAll(t *testing.T, donor, rs *Store, m *RebuildManifest, from uint32) {
+	t.Helper()
+	for start := from; start < m.NumPages(); {
+		count := uint32(2)
+		if m.NumPages()-start < count {
+			count = m.NumPages() - start
+		}
+		pages, err := donor.ExportPages(start, count)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rs.ImportPages(start, pages, m); err != nil {
+			t.Fatal(err)
+		}
+		start += count
+	}
+}
+
+func TestRebuildExportImportRoundTrip(t *testing.T) {
+	donorEnv, targetEnv := newEnv(t), newEnv(t) // distinct HUKs: no key crosses
+	donor := donorEnv.open(t, Options{})
+	fillDonor(t, donor, 5)
+
+	m, err := donor.ExportManifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumPages() != 5 || m.Seq != donor.Seq() {
+		t.Fatalf("manifest = %d pages seq %d, want 5/%d", m.NumPages(), m.Seq, donor.Seq())
+	}
+	// The wire encoding round-trips.
+	m2, err := DecodeManifest(EncodeManifest(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m.ContentRoot(), m2.ContentRoot()) {
+		t.Fatal("manifest encoding does not round-trip")
+	}
+
+	rs, err := OpenRebuild(targetEnv.dev, targetEnv.nw, targetEnv.meter, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.BeginImport(m); err != nil {
+		t.Fatal(err)
+	}
+	importAll(t, donor, rs, m, 0)
+	if err := rs.FinalizeImport(m); err != nil {
+		t.Fatal(err)
+	}
+	if rs.Seq() != m.Seq {
+		t.Errorf("target seq %d, want donor's %d", rs.Seq(), m.Seq)
+	}
+
+	// An ordinary open over the rebuilt medium must verify and serve the
+	// donor's exact plaintext, sealed under the target's own keys.
+	s2, err := Open(targetEnv.dev, targetEnv.nw, targetEnv.meter, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.VerifyAll(); err != nil {
+		t.Fatalf("rebuilt store failed verification: %v", err)
+	}
+	for i := uint32(0); i < 5; i++ {
+		dp, err := donor.ReadPage(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tp, err := s2.ReadPage(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(dp, tp) {
+			t.Errorf("page %d diverges after rebuild", i)
+		}
+	}
+}
+
+func TestRebuildMarkerRefusesVerification(t *testing.T) {
+	donorEnv, targetEnv := newEnv(t), newEnv(t)
+	donor := donorEnv.open(t, Options{})
+	fillDonor(t, donor, 4)
+	m, err := donor.ExportManifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rs, err := OpenRebuild(targetEnv.dev, targetEnv.nw, targetEnv.meter, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.BeginImport(m); err != nil {
+		t.Fatal(err)
+	}
+	pages, err := donor.ExportPages(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.ImportPages(0, pages, m); err != nil {
+		t.Fatal(err)
+	}
+	// The mid-rebuild store refuses its integrity sweep...
+	if err := rs.VerifyAll(); !errors.Is(err, ErrRebuilding) {
+		t.Errorf("mid-rebuild VerifyAll = %v, want ErrRebuilding", err)
+	}
+	// ...and so does an ordinary reopen of the same medium.
+	s2, err := Open(targetEnv.dev, targetEnv.nw, targetEnv.meter, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.VerifyAll(); !errors.Is(err, ErrRebuilding) {
+		t.Errorf("reopened mid-rebuild VerifyAll = %v, want ErrRebuilding", err)
+	}
+	// A mid-rebuild store cannot donate either.
+	if _, err := s2.ExportManifest(); !errors.Is(err, ErrRebuilding) {
+		t.Errorf("mid-rebuild export = %v, want ErrRebuilding", err)
+	}
+}
+
+func TestRebuildGarbageMarkerFailsClosed(t *testing.T) {
+	e := newEnv(t)
+	s := e.open(t, Options{})
+	fillDonor(t, s, 2)
+	// A torn/garbage marker write still means an import began: the store
+	// must refuse verification even though the marker does not authenticate.
+	if err := e.dev.WriteBlock(rebuildMarkerBlock, []byte("torn garbage")); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(e.dev, e.nw, e.meter, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.VerifyAll(); !errors.Is(err, ErrRebuilding) {
+		t.Errorf("garbage marker VerifyAll = %v, want ErrRebuilding", err)
+	}
+	if root := s2.RebuildRoot(); len(root) != 0 {
+		t.Errorf("garbage marker yielded a resume root %x", root)
+	}
+}
+
+func TestRebuildResumesFromCommittedPrefix(t *testing.T) {
+	donorEnv, targetEnv := newEnv(t), newEnv(t)
+	donor := donorEnv.open(t, Options{})
+	fillDonor(t, donor, 6)
+	m, err := donor.ExportManifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rs, err := OpenRebuild(targetEnv.dev, targetEnv.nw, targetEnv.meter, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.BeginImport(m); err != nil {
+		t.Fatal(err)
+	}
+	pages, err := donor.ExportPages(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.ImportPages(0, pages, m); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Crash": reopen the medium for rebuild; the committed prefix and the
+	// marker's content root survive, so the import resumes at page 2.
+	rs2, err := OpenRebuild(targetEnv.dev, targetEnv.nw, targetEnv.meter, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs2.Rebuilding() {
+		t.Fatal("reopened target lost the rebuild marker")
+	}
+	if !bytes.Equal(rs2.RebuildRoot(), m.ContentRoot()) {
+		t.Fatal("reopened target lost the marker's content root")
+	}
+	need, err := rs2.DiffManifest(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(need) == 0 || need[0] != 2 {
+		t.Fatalf("diff = %v, want resume from page 2", need)
+	}
+	importAll(t, donor, rs2, m, 2)
+	if err := rs2.FinalizeImport(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs2.VerifyAll(); err != nil {
+		t.Fatalf("resumed rebuild failed verification: %v", err)
+	}
+}
+
+func TestRebuildFinalizeAdoptsDonorSeq(t *testing.T) {
+	donorEnv, targetEnv := newEnv(t), newEnv(t)
+	donor := donorEnv.open(t, Options{})
+	fillDonor(t, donor, 6) // donor seq 6; target imports in 3 chunk commits
+	m, err := donor.ExportManifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := OpenRebuild(targetEnv.dev, targetEnv.nw, targetEnv.meter, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.BeginImport(m); err != nil {
+		t.Fatal(err)
+	}
+	importAll(t, donor, rs, m, 0)
+	if rs.Seq() == m.Seq {
+		t.Fatal("test needs target seq != donor seq before finalize")
+	}
+	if err := rs.FinalizeImport(m); err != nil {
+		t.Fatal(err)
+	}
+	if rs.Seq() != m.Seq {
+		t.Fatalf("seq after finalize = %d, want %d", rs.Seq(), m.Seq)
+	}
+
+	// Crash window: marker re-persisted after the seq adoption (as if the
+	// cut landed between adoption and marker clear). Re-running finalize
+	// must converge on the same healthy state instead of re-adopting.
+	if err := rs.BeginImport(m); err != nil {
+		t.Fatal(err)
+	}
+	rs2, err := OpenRebuild(targetEnv.dev, targetEnv.nw, targetEnv.meter, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs2.FinalizeImport(m); err != nil {
+		t.Fatalf("idempotent finalize re-run: %v", err)
+	}
+	if rs2.Seq() != m.Seq {
+		t.Errorf("seq after finalize re-run = %d, want %d", rs2.Seq(), m.Seq)
+	}
+	if err := rs2.VerifyAll(); err != nil {
+		t.Errorf("converged store failed verification: %v", err)
+	}
+}
+
+func TestRebuildImportRefusesBadChunks(t *testing.T) {
+	donorEnv, targetEnv := newEnv(t), newEnv(t)
+	donor := donorEnv.open(t, Options{})
+	fillDonor(t, donor, 4)
+	m, err := donor.ExportManifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := OpenRebuild(targetEnv.dev, targetEnv.nw, targetEnv.meter, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.BeginImport(m); err != nil {
+		t.Fatal(err)
+	}
+	pages, err := donor.ExportPages(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-order chunk: refused.
+	if err := rs.ImportPages(2, pages, m); !errors.Is(err, ErrRebuildMismatch) {
+		t.Errorf("non-dense chunk = %v, want ErrRebuildMismatch", err)
+	}
+	// Bit-flipped page: refused before anything commits.
+	bad := append([][]byte{}, append([]byte(nil), pages[0]...), pages[1])
+	bad[0][17] ^= 0x40
+	if err := rs.ImportPages(0, bad, m); !errors.Is(err, ErrRebuildMismatch) {
+		t.Errorf("corrupted page = %v, want ErrRebuildMismatch", err)
+	}
+	// Finalize before the import completes: refused.
+	if err := rs.FinalizeImport(m); !errors.Is(err, ErrRebuildMismatch) {
+		t.Errorf("early finalize = %v, want ErrRebuildMismatch", err)
+	}
+}
+
+// TestQuiesceSnapshotsLandOnTxnBoundaries is the store-level half of the
+// cluster's quiesced-snapshot guarantee: a snapshot taken under Quiesce while
+// commits race is always cleanly stale — restoring it either opens (latest
+// state) or fails freshness (stale state), but never fails as corruption.
+func TestQuiesceSnapshotsLandOnTxnBoundaries(t *testing.T) {
+	e := newEnv(t)
+	s := e.open(t, Options{})
+	idx, err := s.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WritePage(idx, []byte("v0")); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := s.WritePage(idx, []byte(fmt.Sprintf("v%d", i+1))); err != nil {
+				t.Errorf("concurrent commit: %v", err)
+				return
+			}
+		}
+	}()
+
+	for i := 0; i < 25; i++ {
+		var snap map[uint32][]byte
+		if err := s.Quiesce(func() error {
+			snap = e.dev.SnapshotBlocks()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		dev2 := pager.NewMemDevice()
+		dev2.RestoreBlocks(snap)
+		if _, err := Open(dev2, e.nw, e.meter, Options{}); err != nil && !errors.Is(err, ErrFreshness) {
+			t.Fatalf("snapshot %d restored torn (not cleanly stale): %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// With the writer stopped, the final quiesced snapshot IS the anchored
+	// state and must open cleanly.
+	var snap map[uint32][]byte
+	if err := s.Quiesce(func() error {
+		snap = e.dev.SnapshotBlocks()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	dev2 := pager.NewMemDevice()
+	dev2.RestoreBlocks(snap)
+	s2, err := Open(dev2, e.nw, e.meter, Options{})
+	if err != nil {
+		t.Fatalf("final quiesced snapshot refused: %v", err)
+	}
+	if err := s2.VerifyAll(); err != nil {
+		t.Fatalf("final quiesced snapshot failed verification: %v", err)
+	}
+}

@@ -108,6 +108,12 @@ type Store struct {
 	seq         uint64          // commit sequence number, bound into the root tag
 	verified    map[[2]int]bool // (level, index) -> verified since last write
 	failed      error           // set when a commit died mid-flight; poisons the store
+
+	// rebuilding is set while the on-medium rebuild marker (rebuild.go) is
+	// present: the store is mid-import from a donor replica and must refuse
+	// integrity sweeps (and with them readmission) until FinalizeImport.
+	rebuilding bool
+	markerRoot []byte // the marker's manifest content root, for resume checks
 }
 
 // ErrFreshness reports a detected rollback, replay, or fork of the medium.
@@ -127,6 +133,19 @@ func Open(dev pager.BlockDevice, nw *trustzone.NormalWorld, meter *simtime.Meter
 // OpenWith is Open with explicit key and anchor providers (used by the
 // host-only-secure configuration, where both live inside the SGX enclave).
 func OpenWith(dev pager.BlockDevice, keys KeySource, anchor RootAnchor, meter *simtime.Meter, opts Options) (*Store, error) {
+	s, err := newStore(dev, keys, anchor, meter, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.load(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// newStore constructs a store and derives its keys, without loading the
+// medium (the shared front half of OpenWith and OpenRebuildWith).
+func newStore(dev pager.BlockDevice, keys KeySource, anchor RootAnchor, meter *simtime.Meter, opts Options) (*Store, error) {
 	if meter == nil {
 		return nil, errors.New("securestore: meter required")
 	}
@@ -146,9 +165,6 @@ func OpenWith(dev pager.BlockDevice, keys KeySource, anchor RootAnchor, meter *s
 			return nil, fmt.Errorf("securestore: deriving %s: %w", k.label, err)
 		}
 		*k.dst = key
-	}
-	if err := s.load(); err != nil {
-		return nil, err
 	}
 	return s, nil
 }
@@ -183,6 +199,9 @@ func (a RPMBAnchor) LoadRoot(nonce []byte) ([]byte, error) {
 // against the anchor: the store deterministically opens at exactly the old or
 // the new anchored state of the most recent commit, or fails closed.
 func (s *Store) load() error {
+	if err := s.readRebuildMarker(); err != nil {
+		return err
+	}
 	if err := s.readMediumState(); err != nil {
 		return err
 	}
@@ -494,6 +513,23 @@ func (s *Store) verifyPath(idx uint32, recordMAC []byte) error {
 	return nil
 }
 
+// Quiesce runs fn while the store's commit lock is held. Commit holds the
+// lock across the whole journal-write → in-place-apply → anchor sequence, so
+// inside fn the medium is always at a transaction boundary: a snapshot taken
+// here can be stale relative to later commits but never torn.
+func (s *Store) Quiesce(fn func() error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fn()
+}
+
+// Seq reports the commit sequence number bound into the anchored root tag.
+func (s *Store) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
 // TreeBytes reports the in-memory size of the Merkle tree — the working-set
 // contribution that causes EPC paging when the store is verified inside an
 // SGX enclave (the paper's Fig 9a effect).
@@ -508,12 +544,18 @@ func (s *Store) TreeBytes() int64 {
 }
 
 // VerifyAll re-verifies every allocated page against the anchored root.
+// A store mid-rebuild refuses the sweep outright: its content is a partial
+// import of a donor replica and must never be certified as readmittable.
 func (s *Store) VerifyAll() error {
 	s.mu.Lock()
 	if s.failed != nil {
 		err := s.failed
 		s.mu.Unlock()
 		return fmt.Errorf("%w: %w", ErrStoreFailed, err)
+	}
+	if s.rebuilding {
+		s.mu.Unlock()
+		return ErrRebuilding
 	}
 	n := s.nextAlloc
 	s.mu.Unlock()

@@ -6,9 +6,11 @@
 package storageengine
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -68,9 +70,20 @@ type Server struct {
 	store  pager.PageStore
 	db     *engine.DB
 
+	// restartMu serializes the reopen paths (Restart, FinalizeRebuild,
+	// BeginRebuild's open-for-import): two concurrent journal recoveries
+	// over the same medium would interleave their replay writes.
+	restartMu sync.Mutex
+
 	mu       sync.Mutex
 	booted   bool
 	sessions map[string][]byte // session id -> key (from the monitor)
+	// epoch is the cluster membership epoch this node believes is current;
+	// every offload reply carries it (rebuild.go). A fenced node misses the
+	// bump broadcast, so its replies betray their staleness to the host.
+	epoch uint64
+	// rebuildM is the manifest of an in-flight replica rebuild (rebuild.go).
+	rebuildM *securestore.RebuildManifest
 }
 
 // New manufactures, boots, and initializes a storage server. Trusted boot
@@ -123,24 +136,32 @@ func New(cfg Config) (*Server, error) {
 // or the new anchored state, while a rolled-back medium fails with
 // securestore.ErrFreshness.
 func (s *Server) openStore() error {
+	s.restartMu.Lock()
+	defer s.restartMu.Unlock()
+	var store pager.PageStore
 	if s.cfg.Secure {
-		store, err := securestore.Open(s.dev, s.nw, s.cfg.Meter, s.cfg.StoreOptions)
+		ss, err := securestore.Open(s.dev, s.nw, s.cfg.Meter, s.cfg.StoreOptions)
 		if err != nil {
 			return err
 		}
-		s.store = store
+		store = ss
 	} else {
 		cache := s.cfg.CacheSize
 		if cache == 0 {
 			cache = 256
 		}
-		s.store = pager.NewPager(s.dev, s.cfg.Meter, cache)
+		store = pager.NewPager(s.dev, s.cfg.Meter, cache)
 	}
-	db, err := engine.Open(s.store, s.cfg.Meter)
+	db, err := engine.Open(store, s.cfg.Meter)
 	if err != nil {
 		return err
 	}
+	// Publish the swap atomically: a concurrent reader (integrity sweep,
+	// offload) sees either the old consistent pair or the new one.
+	s.mu.Lock()
+	s.store = store
 	s.db = db
+	s.mu.Unlock()
 	return nil
 }
 
@@ -162,7 +183,11 @@ func (s *Server) Info() (id, location, fw string) {
 }
 
 // DB exposes the engine for data loading and the sos configuration.
-func (s *Server) DB() *engine.DB { return s.db }
+func (s *Server) DB() *engine.DB {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.db
+}
 
 // Medium exposes the raw untrusted medium (tests and attack simulations).
 func (s *Server) Medium() *pager.MemDevice { return s.medium }
@@ -198,7 +223,7 @@ func (s *Server) sessionKey(sessionID string) ([]byte, bool) {
 // ExecOffload runs one offloaded query fragment on the local engine,
 // applying the memory-budget spill model.
 func (s *Server) ExecOffload(sql string) (*exec.Result, error) {
-	res, err := s.db.Execute(sql)
+	res, err := s.DB().Execute(sql)
 	if err != nil {
 		return nil, fmt.Errorf("storageengine: offload: %w", err)
 	}
@@ -277,10 +302,12 @@ func (s *Server) ServeConn(conn net.Conn) {
 	if _, err := readFull(conn, idBuf); err != nil {
 		return
 	}
-	key, ok := s.sessionKey(string(idBuf))
+	sessionID := string(idBuf)
+	key, ok := s.sessionKey(sessionID)
 	if !ok {
 		return // unknown session: refuse to handshake
 	}
+	rebuildSession := strings.HasPrefix(sessionID, RebuildSessionPrefix)
 	sc, err := transport.Server(conn, key, s.cfg.Meter)
 	if err != nil {
 		return
@@ -291,6 +318,12 @@ func (s *Server) ServeConn(conn net.Conn) {
 		typ, payload, err := sc.Recv()
 		if err != nil {
 			return
+		}
+		if typ != "bye" && strings.HasPrefix(typ, "rebuild-") != rebuildSession {
+			// Gate both ways: rebuild sessions cannot offload queries, and
+			// query sessions cannot drive the rebuild verbs.
+			sc.Send("error", []byte("command "+typ+" not permitted on this session"))
+			continue
 		}
 		switch typ {
 		case "offload":
@@ -305,7 +338,61 @@ func (s *Server) ServeConn(conn net.Conn) {
 				continue
 			}
 			s.cfg.Meter.RowsShipped.Add(int64(len(res.Rows)))
-			sc.Send("result", blob)
+			// The reply is stamped with this node's membership epoch; the
+			// host rejects any stamp that differs from the cluster's.
+			out := make([]byte, 8, 8+len(blob))
+			binary.LittleEndian.PutUint64(out, s.Epoch())
+			sc.Send("result", append(out, blob...))
+		case "rebuild-manifest":
+			blob, err := s.ExportRebuildManifest()
+			if err != nil {
+				sc.Send("error", []byte(err.Error()))
+				continue
+			}
+			sc.Send("manifest", blob)
+		case "rebuild-read":
+			if len(payload) != 8 {
+				sc.Send("error", []byte("bad rebuild-read request"))
+				continue
+			}
+			start := binary.LittleEndian.Uint32(payload[0:4])
+			count := binary.LittleEndian.Uint32(payload[4:8])
+			pages, err := s.ExportRebuildPages(start, count)
+			if err != nil {
+				sc.Send("error", []byte(err.Error()))
+				continue
+			}
+			sc.Send("pages", encodePageList(pages))
+		case "rebuild-begin":
+			start, err := s.BeginRebuild(payload)
+			if err != nil {
+				sc.Send("error", []byte(err.Error()))
+				continue
+			}
+			var b [4]byte
+			binary.LittleEndian.PutUint32(b[:], start)
+			sc.Send("begin-ok", b[:])
+		case "rebuild-pages":
+			if len(payload) < 4 {
+				sc.Send("error", []byte("bad rebuild-pages request"))
+				continue
+			}
+			pages, err := decodePageList(payload[4:])
+			if err != nil {
+				sc.Send("error", []byte(err.Error()))
+				continue
+			}
+			if err := s.ImportRebuildPages(binary.LittleEndian.Uint32(payload[0:4]), pages); err != nil {
+				sc.Send("error", []byte(err.Error()))
+				continue
+			}
+			sc.Send("ok", nil)
+		case "rebuild-finalize":
+			if err := s.FinalizeRebuild(); err != nil {
+				sc.Send("error", []byte(err.Error()))
+				continue
+			}
+			sc.Send("ok", nil)
 		case "bye":
 			return
 		default:
@@ -352,7 +439,7 @@ func (s *Server) Blocks() uint32 { return s.medium.NumBlocks() }
 // anchor — the audit-time integrity sweep a regulator or operator can
 // request. It is a no-op success on non-secure configurations.
 func (s *Server) VerifyStore() error {
-	if ss, ok := s.store.(*securestore.Store); ok {
+	if ss := s.SecureStore(); ss != nil {
 		return ss.VerifyAll()
 	}
 	return nil

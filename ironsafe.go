@@ -164,6 +164,14 @@ type Cluster struct {
 
 	nodeMu sync.Mutex
 	down   map[string]bool // nodes killed and not yet readmitted
+	// epoch is the cluster membership epoch: KillStorage bumps it and
+	// broadcasts the new value to the surviving nodes, whose offload replies
+	// carry it. A fenced node still serving from a stale epoch betrays
+	// itself on its first reply (cluster_runtime.go, fencedNode).
+	epoch uint64
+	// rebuilding marks nodes with a RebuildStorage in flight: they can
+	// neither donate, be rebuilt again, nor be readmitted until it resolves.
+	rebuilding map[string]bool
 }
 
 // secureMode reports whether the mode runs with protection enabled.
@@ -184,6 +192,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		secure:       cfg.Mode.secureMode(),
 		database:     "db",
 		down:         map[string]bool{},
+		rebuilding:   map[string]bool{},
 	}
 	if cfg.Resilience != nil {
 		c.res = cfg.Resilience.WithDefaults()

@@ -83,6 +83,7 @@ func (s *Session) Query(sql string) (*QueryResult, error) {
 		ExecPolicy: s.execPolicy,
 		AccessDate: s.accessDate,
 		HostID:     "host-1",
+		Epoch:      c.Epoch(),
 	})
 	if err != nil {
 		return nil, err
