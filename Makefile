@@ -5,9 +5,9 @@ GO ?= go
 
 # Tier-1 packages: the race gate ROADMAP.md and the acceptance criteria
 # name explicitly. `make race` extends it to the whole module.
-RACE_PKGS = ./internal/monitor ./internal/engine ./internal/pager ./internal/simtime
+RACE_PKGS = ./internal/monitor ./internal/engine ./internal/pager ./internal/simtime ./internal/securestore
 
-.PHONY: all build test race race-tier1 vet lint chaos chaos-race crashsweep crashsweep-race rebuildsweep rebuildsweep-race check clean
+.PHONY: all build test race race-tier1 vet lint chaos chaos-race crashsweep crashsweep-race rebuildsweep rebuildsweep-race benchjson benchsmoke check clean
 
 all: check
 
@@ -61,6 +61,19 @@ rebuildsweep:
 
 rebuildsweep-race:
 	$(GO) test -race -count=1 -run 'Rebuild|Epoch|Membership|Quiesce|Readmit' ./internal/chaos ./internal/securestore .
+
+# benchjson regenerates the machine-readable benchmark record so the perf
+# trajectory (per-query times, scs breakdown, scan-pipeline counters) is
+# tracked across PRs.
+benchjson:
+	$(GO) run ./cmd/ironsafe-bench -exp json -sf 0.005 -json BENCH_results.json
+
+# benchsmoke is the CI-sized slice: the JSON emitter must produce a valid
+# record at a tiny scale factor, and the batched scan path must stay
+# row-identical to the sequential one.
+benchsmoke:
+	$(GO) run ./cmd/ironsafe-bench -exp json -sf 0.002 -queries 1,6 -json /tmp/bench_smoke.json
+	$(GO) test -count=1 -run 'BatchedMatchesSequential|CollectResults' ./internal/bench
 
 check: build vet lint test race-tier1 chaos-race crashsweep-race rebuildsweep-race
 

@@ -9,10 +9,14 @@
 //	ironsafe-bench -exp all  -sf 0.005
 //
 // Experiments: fig6 fig7 fig8 fig9a fig9b fig9c fig10 fig11 fig12 table2
-// table3 table4 all.
+// table3 table4 json all. The json experiment writes the machine-readable
+// BENCH_results.json (per-query times for all five Table 2 configurations,
+// scs cost-breakdown fractions, and scan-pipeline counters) so the perf
+// trajectory is trackable across PRs; `make benchjson` regenerates it.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,9 +28,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (fig6..fig12, table2..table4, all)")
+	exp := flag.String("exp", "all", "experiment to run (fig6..fig12, table2..table4, json, all)")
 	sf := flag.Float64("sf", 0.005, "TPC-H scale factor")
 	queriesFlag := flag.String("queries", "", "comma-separated query numbers (default: the paper's 16)")
+	jsonPath := flag.String("json", "BENCH_results.json", "output path of the json experiment")
 	flag.Parse()
 
 	queries := bench.DefaultQueries()
@@ -150,6 +155,21 @@ func main() {
 			return err
 		}
 		bench.PrintTable4(os.Stdout, rows)
+		return nil
+	})
+	run("json", func() error {
+		res, err := bench.CollectResults(*sf, queries)
+		if err != nil {
+			return err
+		}
+		blob, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (sf=%g, %d queries, %d configs)\n", *jsonPath, *sf, len(queries), len(res.TimesMicros))
 		return nil
 	})
 }

@@ -21,7 +21,7 @@
 //	//ironsafe:allow <check>[,<check>...] -- <rationale>
 //
 // where <check> is an analyzer name (wallclock, cryptorand, sealerr,
-// boundary, rawnet, journalbypass, readmit). The rationale text is free-form but should say why the
+// boundary, rawnet, journalbypass, readmit, lockcrypto). The rationale text is free-form but should say why the
 // invariant genuinely does not apply; directives are grep-able so reviews
 // can audit every escape hatch in one pass.
 package analysis

@@ -1,0 +1,23 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ironsafe/internal/analysis"
+	"ironsafe/internal/analysis/analysistest"
+)
+
+func TestLockcryptoUnderMutex(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Lockcrypto, "internal/securestore/lockcrypto")
+}
+
+func TestLockcryptoAllowDirective(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Lockcrypto, "internal/securestore/lockcryptoallow")
+}
+
+// TestLockcryptoScopedToSecurestore pins that crypto under other packages'
+// locks is out of scope: only the secure store's scan path carries the
+// seal-outside-the-lock contract.
+func TestLockcryptoScopedToSecurestore(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Lockcrypto, "internal/pager/lockedcipher")
+}

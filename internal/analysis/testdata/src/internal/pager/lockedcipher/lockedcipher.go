@@ -1,0 +1,23 @@
+// Package lockedcipher holds a crypto-under-mutex shape OUTSIDE
+// internal/securestore; lockcrypto is scoped to the secure store and must
+// report nothing here.
+package lockedcipher
+
+import (
+	"crypto/hmac"
+	"crypto/sha512"
+	"sync"
+)
+
+type checksummer struct {
+	mu  sync.Mutex
+	key []byte
+}
+
+func (c *checksummer) sum(data []byte) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	mac := hmac.New(sha512.New, c.key)
+	mac.Write(data)
+	return mac.Sum(nil)
+}

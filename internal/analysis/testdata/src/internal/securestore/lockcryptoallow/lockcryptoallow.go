@@ -1,0 +1,36 @@
+// Package lockcryptoallow seeds page-crypto-under-mutex violations
+// suppressed by allow directives, in both sanctioned placements (the line
+// above and the flagged line itself); the test asserts no diagnostics
+// survive.
+package lockcryptoallow
+
+import (
+	"crypto/hmac"
+	"crypto/sha512"
+	"sync"
+)
+
+type store struct {
+	mu     sync.Mutex
+	macKey []byte
+}
+
+func (s *store) sealPage(idx uint32, plain []byte) ([]byte, []byte, error) {
+	return plain, nil, nil
+}
+
+func (s *store) gapFill(idx uint32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//ironsafe:allow lockcrypto -- seals only a bounded number of reserved-but-unwritten zero pages
+	_, _, err := s.sealPage(idx, make([]byte, 16))
+	return err
+}
+
+func (s *store) anchorMAC(data []byte) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mac := hmac.New(sha512.New, s.macKey) //ironsafe:allow lockcrypto -- constant-size anchor tag, not page-sized work
+	mac.Write(data)
+	return mac.Sum(nil)
+}

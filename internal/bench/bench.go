@@ -13,6 +13,7 @@ import (
 
 	"ironsafe"
 	"ironsafe/internal/partition"
+	"ironsafe/internal/simtime"
 	"ironsafe/internal/sql/parser"
 	"ironsafe/internal/tpch"
 )
@@ -192,27 +193,33 @@ func Fig8(sf float64, queries []int) ([]Fig8Row, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fig8 q%d: %w", qn, err)
 		}
-		hostCost := model.PriceCPU(stats.Host, model.Host, 1)
-		storCost := model.PriceCPU(stats.Storage, model.Storage, 0)
-		ndp := hostCost.Compute + hostCost.PageIO + storCost.Compute + storCost.PageIO
-		fresh := hostCost.Freshness + storCost.Freshness +
-			time.Duration(stats.Storage.RPMBReads+stats.Storage.RPMBWrites)*model.TEE.RPMBRead
-		dec := hostCost.Decrypt + storCost.Decrypt
-		other := model.PriceTEE(stats.Host) + model.PriceTEE(stats.Storage) - time.Duration(stats.Storage.RPMBReads+stats.Storage.RPMBWrites)*model.TEE.RPMBRead +
-			model.PriceLink(stats.Host.BytesSent+stats.Host.BytesReceived, int64(stats.Offloads*2))
-		total := ndp + fresh + dec + other
-		if total == 0 {
-			total = 1
-		}
-		rows = append(rows, Fig8Row{
-			Query:     qn,
-			NDP:       float64(ndp) / float64(total),
-			Freshness: float64(fresh) / float64(total),
-			Decrypt:   float64(dec) / float64(total),
-			Other:     float64(other) / float64(total),
-		})
+		rows = append(rows, breakdownFractions(qn, model, stats))
 	}
 	return rows, nil
+}
+
+// breakdownFractions prices one split query's stats into the Figure 8 cost
+// fractions (shared by the figure reproduction and the JSON emitter).
+func breakdownFractions(qn int, model *simtime.CostModel, stats *ironsafe.QueryStats) Fig8Row {
+	hostCost := model.PriceCPU(stats.Host, model.Host, 1)
+	storCost := model.PriceCPU(stats.Storage, model.Storage, 0)
+	ndp := hostCost.Compute + hostCost.PageIO + storCost.Compute + storCost.PageIO
+	fresh := hostCost.Freshness + storCost.Freshness +
+		time.Duration(stats.Storage.RPMBReads+stats.Storage.RPMBWrites)*model.TEE.RPMBRead
+	dec := hostCost.Decrypt + storCost.Decrypt
+	other := model.PriceTEE(stats.Host) + model.PriceTEE(stats.Storage) - time.Duration(stats.Storage.RPMBReads+stats.Storage.RPMBWrites)*model.TEE.RPMBRead +
+		model.PriceLink(stats.Host.BytesSent+stats.Host.BytesReceived, int64(stats.Offloads*2))
+	total := ndp + fresh + dec + other
+	if total == 0 {
+		total = 1
+	}
+	return Fig8Row{
+		Query:     qn,
+		NDP:       float64(ndp) / float64(total),
+		Freshness: float64(fresh) / float64(total),
+		Decrypt:   float64(dec) / float64(total),
+		Other:     float64(other) / float64(total),
+	}
 }
 
 // Fig9aRow is one group of Figure 9a: q1 latency by input size.
@@ -320,7 +327,13 @@ type Fig9cRow struct {
 // freshness verification and ~15% decryption).
 func Fig9c(sf float64, queries []int) ([]Fig9cRow, error) {
 	data := tpch.Generate(sf)
-	sos, err := newCluster(ironsafe.StorageOnlySecure, data, nil)
+	// Pin the paper's per-read design point: one full Merkle walk per page.
+	// Batched verification deliberately destroys this breakdown (that is its
+	// job — see BENCH_results.json for the batched numbers), so the figure
+	// reproduction keeps the sequential path.
+	sos, err := newCluster(ironsafe.StorageOnlySecure, data, func(cfg *ironsafe.Config) {
+		cfg.ScanBatchPages = 1
+	})
 	if err != nil {
 		return nil, err
 	}

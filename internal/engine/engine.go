@@ -48,8 +48,9 @@ type DB struct {
 	store pager.PageStore
 	meter *simtime.Meter
 
-	mu     sync.RWMutex
-	tables map[string]*Table
+	mu      sync.RWMutex
+	tables  map[string]*Table
+	scanCfg pager.ScanConfig
 
 	// execMu serializes writers against readers: SELECTs run concurrently,
 	// DDL/DML take the write lock (SQLite-style multi-reader/one-writer).
@@ -123,14 +124,28 @@ func (db *DB) loadCatalog() error {
 		for _, c := range tr.Columns {
 			sch.Columns = append(sch.Columns, schema.Col(c.Name, c.Kind))
 		}
+		heap := pager.OpenHeapFile(db.store, tr.Pages)
+		heap.SetScanConfig(db.scanCfg)
 		db.tables[strings.ToLower(tr.Name)] = &Table{
 			Name: tr.Name,
 			Sch:  sch,
-			heap: pager.OpenHeapFile(db.store, tr.Pages),
+			heap: heap,
 			db:   db,
 		}
 	}
 	return nil
+}
+
+// SetScanConfig installs the scan-pipeline configuration on every current
+// and future table heap (see pager.ScanConfig; the zero value restores the
+// sequential per-page path).
+func (db *DB) SetScanConfig(cfg pager.ScanConfig) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.scanCfg = cfg
+	for _, t := range db.tables {
+		t.heap.SetScanConfig(cfg)
+	}
 }
 
 // catalogPagesMax bounds how many catalog pages fit in the root page.
@@ -272,7 +287,9 @@ func (db *DB) createTable(s *ast.CreateTable) (*exec.Result, error) {
 		seen[lc] = true
 		sch.Columns = append(sch.Columns, schema.Col(c.Name, c.Kind))
 	}
-	db.tables[key] = &Table{Name: s.Name, Sch: sch, heap: pager.NewHeapFile(db.store), db: db}
+	heap := pager.NewHeapFile(db.store)
+	heap.SetScanConfig(db.scanCfg)
+	db.tables[key] = &Table{Name: s.Name, Sch: sch, heap: heap, db: db}
 	if err := db.persistCatalog(); err != nil {
 		return nil, err
 	}

@@ -246,6 +246,25 @@ func (e *EnclavePageStore) ReadPage(idx uint32) ([]byte, error) {
 	return out, nil
 }
 
+// ReadPages implements pager.PageStore: the whole batch enters and leaves
+// the enclave through a single transition — the hos-side amortization win —
+// while EPC residency is still charged per page.
+func (e *EnclavePageStore) ReadPages(idxs []uint32) ([][]byte, error) {
+	var out [][]byte
+	err := e.Enclave.OCall(func() error { // one exit fetches the whole batch
+		var err error
+		out, err = e.Inner.ReadPages(idxs)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, idx := range idxs {
+		e.touch(idx)
+	}
+	return out, nil
+}
+
 // WritePage implements pager.PageStore.
 func (e *EnclavePageStore) WritePage(idx uint32, data []byte) error {
 	err := e.Enclave.OCall(func() error { return e.Inner.WritePage(idx, data) })

@@ -89,6 +89,7 @@ type Monitor struct {
 	serviceBits map[string]int            // client key -> reuse bitmap position
 	sessions    map[string]*Session
 	seq         uint64
+	scanStats   map[string]ScanTelemetry // node -> latest scan-pipeline report
 }
 
 // Session is an active authorized query session.

@@ -1,0 +1,51 @@
+package monitor
+
+import (
+	"sort"
+
+	"ironsafe/internal/simtime"
+)
+
+// ScanTelemetry is one node's scan-pipeline health report: how much work the
+// batched secure read path saved. The monitor collects these so operators
+// (and cmd/ironsafe-bench) can watch the freshness-verification amortization
+// across the fleet without scraping per-node meters.
+type ScanTelemetry struct {
+	Node              string
+	ScanBatches       int64
+	MerkleHashes      int64
+	MerkleHashesSaved int64
+	PlainCacheHits    int64
+	PlainCacheMisses  int64
+}
+
+// ReportScanTelemetry records a node's current scan-pipeline counters,
+// replacing any earlier report from the same node.
+func (m *Monitor) ReportScanTelemetry(node string, snap simtime.Snapshot) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.scanStats == nil {
+		m.scanStats = map[string]ScanTelemetry{}
+	}
+	m.scanStats[node] = ScanTelemetry{
+		Node:              node,
+		ScanBatches:       snap.ScanBatches,
+		MerkleHashes:      snap.MerkleHashes,
+		MerkleHashesSaved: snap.MerkleHashesSaved,
+		PlainCacheHits:    snap.PlainCacheHits,
+		PlainCacheMisses:  snap.PlainCacheMisses,
+	}
+}
+
+// ScanTelemetryReport returns the latest report of every node, sorted by
+// node ID.
+func (m *Monitor) ScanTelemetryReport() []ScanTelemetry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]ScanTelemetry, 0, len(m.scanStats))
+	for _, t := range m.scanStats {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}

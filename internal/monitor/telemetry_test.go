@@ -1,0 +1,47 @@
+package monitor
+
+import (
+	"testing"
+
+	"ironsafe/internal/simtime"
+)
+
+func TestScanTelemetryReport(t *testing.T) {
+	m, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ScanTelemetryReport(); len(got) != 0 {
+		t.Fatalf("fresh monitor has %d reports", len(got))
+	}
+
+	var meter simtime.Meter
+	meter.ScanBatches.Add(7)
+	meter.MerkleHashes.Add(100)
+	meter.MerkleHashesSaved.Add(42)
+	meter.PlainCacheHits.Add(3)
+	meter.PlainCacheMisses.Add(9)
+	m.ReportScanTelemetry("storage-02", meter.Snapshot())
+	m.ReportScanTelemetry("storage-01", simtime.Snapshot{})
+
+	got := m.ScanTelemetryReport()
+	if len(got) != 2 {
+		t.Fatalf("reports = %d, want 2", len(got))
+	}
+	if got[0].Node != "storage-01" || got[1].Node != "storage-02" {
+		t.Fatalf("reports not sorted by node: %v, %v", got[0].Node, got[1].Node)
+	}
+	r := got[1]
+	if r.ScanBatches != 7 || r.MerkleHashes != 100 || r.MerkleHashesSaved != 42 ||
+		r.PlainCacheHits != 3 || r.PlainCacheMisses != 9 {
+		t.Fatalf("telemetry mismatch: %+v", r)
+	}
+
+	// A later report from the same node replaces the earlier one.
+	meter.MerkleHashesSaved.Add(8)
+	m.ReportScanTelemetry("storage-02", meter.Snapshot())
+	got = m.ScanTelemetryReport()
+	if got[1].MerkleHashesSaved != 50 {
+		t.Fatalf("replacement report lost: %+v", got[1])
+	}
+}

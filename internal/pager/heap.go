@@ -18,7 +18,23 @@ import (
 type HeapFile struct {
 	store PageStore
 	pages []uint32
+	scan  ScanConfig
 }
+
+// ScanConfig tunes the heap scan pipeline. The zero value preserves the
+// classic behaviour: one ReadPage per page, no read-ahead.
+type ScanConfig struct {
+	// BatchPages is how many pages each ReadPages call covers. 0 or 1 selects
+	// the sequential per-page path.
+	BatchPages int
+	// Prefetch is how many fetched batches may sit decoded-pending ahead of
+	// the consumer. <= 0 fetches batches synchronously with no read-ahead
+	// goroutine.
+	Prefetch int
+}
+
+// SetScanConfig installs the scan pipeline configuration for this heap.
+func (h *HeapFile) SetScanConfig(cfg ScanConfig) { h.scan = cfg }
 
 const heapHeaderSize = 4
 
@@ -170,25 +186,120 @@ func (h *HeapFile) appendAllTo(w pageWriter, rows []schema.Row) error {
 
 // Scan calls fn for every row in heap order. Returning a non-nil error from
 // fn stops the scan; ErrStopScan stops it without reporting an error.
+//
+// With a ScanConfig whose BatchPages > 1 the scan becomes a pipeline: pages
+// are fetched through PageStore.ReadPages in fixed batches, and with
+// Prefetch > 0 a single producer goroutine keeps up to Prefetch batches in
+// flight ahead of row decoding, overlapping device reads with decrypt/verify
+// of earlier batches. The producer fetches batches strictly in heap order
+// through a buffered channel, so the sequence of device operations — which
+// the fault-injection framework keys its deterministic streams on — is a
+// pure function of how far the consumer got, never of goroutine scheduling.
 func (h *HeapFile) Scan(fn func(schema.Row) error) error {
+	if h.scan.BatchPages > 1 && len(h.pages) > 1 {
+		return h.scanBatched(fn)
+	}
 	for _, idx := range h.pages {
 		buf, err := h.store.ReadPage(idx)
 		if err != nil {
 			return fmt.Errorf("pager: heap page %d: %w", idx, err)
 		}
-		rows, used := pageHeader(buf)
-		pos := heapHeaderSize
-		end := heapHeaderSize + used
-		for i := 0; i < rows; i++ {
-			if pos >= end {
-				return fmt.Errorf("pager: heap page %d truncated at row %d", idx, i)
+		if err := h.scanPage(idx, buf, fn); err != nil {
+			if err == ErrStopScan {
+				return nil
 			}
-			r, n, err := schema.DecodeRow(buf[pos:end])
+			return err
+		}
+	}
+	return nil
+}
+
+// scanPage decodes one fetched page and feeds its rows to fn. It returns
+// ErrStopScan unchanged so callers can distinguish early stop from failure.
+func (h *HeapFile) scanPage(idx uint32, buf []byte, fn func(schema.Row) error) error {
+	rows, used := pageHeader(buf)
+	pos := heapHeaderSize
+	end := heapHeaderSize + used
+	for i := 0; i < rows; i++ {
+		if pos >= end {
+			return fmt.Errorf("pager: heap page %d truncated at row %d", idx, i)
+		}
+		r, n, err := schema.DecodeRow(buf[pos:end])
+		if err != nil {
+			return fmt.Errorf("pager: heap page %d row %d: %w", idx, i, err)
+		}
+		pos += n
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scanBatch is one unit of the scan pipeline: a fetched page range, or the
+// error that ended fetching.
+type scanBatch struct {
+	idxs []uint32
+	bufs [][]byte
+	err  error
+}
+
+// scanBatched is the pipelined scan body.
+func (h *HeapFile) scanBatched(fn func(schema.Row) error) error {
+	bp := h.scan.BatchPages
+	if h.scan.Prefetch <= 0 {
+		// Synchronous batches: amortized verification without read-ahead.
+		for start := 0; start < len(h.pages); start += bp {
+			end := start + bp
+			if end > len(h.pages) {
+				end = len(h.pages)
+			}
+			idxs := h.pages[start:end]
+			bufs, err := h.store.ReadPages(idxs)
 			if err != nil {
-				return fmt.Errorf("pager: heap page %d row %d: %w", idx, i, err)
+				return fmt.Errorf("pager: heap pages %d..%d: %w", idxs[0], idxs[len(idxs)-1], err)
 			}
-			pos += n
-			if err := fn(r); err != nil {
+			for i, idx := range idxs {
+				if err := h.scanPage(idx, bufs[i], fn); err != nil {
+					if err == ErrStopScan {
+						return nil
+					}
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	ch := make(chan scanBatch, h.scan.Prefetch)
+	done := make(chan struct{})
+	go func() {
+		defer close(ch)
+		for start := 0; start < len(h.pages); start += bp {
+			end := start + bp
+			if end > len(h.pages) {
+				end = len(h.pages)
+			}
+			idxs := h.pages[start:end]
+			bufs, err := h.store.ReadPages(idxs)
+			select {
+			case ch <- scanBatch{idxs: idxs, bufs: bufs, err: err}:
+			case <-done:
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	defer close(done)
+
+	for b := range ch {
+		if b.err != nil {
+			return fmt.Errorf("pager: heap pages %d..%d: %w", b.idxs[0], b.idxs[len(b.idxs)-1], b.err)
+		}
+		for i, idx := range b.idxs {
+			if err := h.scanPage(idx, b.bufs[i], fn); err != nil {
 				if err == ErrStopScan {
 					return nil
 				}

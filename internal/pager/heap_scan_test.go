@@ -1,0 +1,140 @@
+package pager
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"ironsafe/internal/schema"
+)
+
+// buildScanHeap loads enough rows to span many pages and returns the heap
+// plus the expected row sequence from a zero-config (classic) scan.
+func buildScanHeap(t *testing.T, n int) (*HeapFile, []schema.Row) {
+	t.Helper()
+	p := NewPager(NewMemDevice(), nil, 16)
+	h := NewHeapFile(p)
+	rows := make([]schema.Row, n)
+	for i := range rows {
+		rows[i] = testRow(i)
+	}
+	if err := h.AppendAll(rows); err != nil {
+		t.Fatal(err)
+	}
+	if h.NumPages() < 4 {
+		t.Fatalf("test heap spans only %d pages; scan pipeline untested", h.NumPages())
+	}
+	var want []schema.Row
+	if err := h.Scan(func(r schema.Row) error {
+		want = append(want, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return h, want
+}
+
+// TestHeapScanPipelineMatchesSequential pins row-identity of the pipelined
+// scan across batch/prefetch shapes, including batch sizes that do not divide
+// the page count.
+func TestHeapScanPipelineMatchesSequential(t *testing.T) {
+	h, want := buildScanHeap(t, 600)
+	configs := []ScanConfig{
+		{BatchPages: 1, Prefetch: 0},
+		{BatchPages: 2, Prefetch: 0},
+		{BatchPages: 3, Prefetch: 0}, // synchronous batches, ragged tail
+		{BatchPages: 4, Prefetch: 1},
+		{BatchPages: 3, Prefetch: 2},
+		{BatchPages: 64, Prefetch: 2}, // one batch covers the whole heap
+	}
+	for _, cfg := range configs {
+		h.SetScanConfig(cfg)
+		var got []schema.Row
+		if err := h.Scan(func(r schema.Row) error {
+			got = append(got, r)
+			return nil
+		}); err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%+v: pipelined scan returned %d rows diverging from sequential (%d)",
+				cfg, len(got), len(want))
+		}
+	}
+}
+
+// TestHeapScanPipelineEarlyStop pins ErrStopScan and error propagation
+// through the pipelined path: the scan stops cleanly mid-batch, and a
+// consumer error surfaces unchanged.
+func TestHeapScanPipelineEarlyStop(t *testing.T) {
+	h, want := buildScanHeap(t, 600)
+	h.SetScanConfig(ScanConfig{BatchPages: 3, Prefetch: 2})
+
+	stopAt := len(want) / 2
+	var got []schema.Row
+	err := h.Scan(func(r schema.Row) error {
+		got = append(got, r)
+		if len(got) == stopAt {
+			return ErrStopScan
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("early stop: %v", err)
+	}
+	if !reflect.DeepEqual(got, want[:stopAt]) {
+		t.Fatalf("early stop consumed %d rows, want the first %d", len(got), stopAt)
+	}
+
+	wantErr := errors.New("consumer failure")
+	err = h.Scan(func(schema.Row) error { return wantErr })
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("consumer error came back as %v", err)
+	}
+
+	// Count still works after aborted scans (the producer goroutine must not
+	// wedge the heap).
+	n, err := h.Count()
+	if err != nil || n != len(want) {
+		t.Fatalf("Count after aborted scans = %d, %v", n, err)
+	}
+}
+
+// failingBatchStore fails ReadPages batches whose first index is >= failFrom,
+// exercising the pipeline's error path.
+type failingBatchStore struct {
+	PageStore
+	failFrom uint32
+}
+
+func (f *failingBatchStore) ReadPages(idxs []uint32) ([][]byte, error) {
+	if len(idxs) > 0 && idxs[0] >= f.failFrom {
+		return nil, fmt.Errorf("injected batch failure at page %d", idxs[0])
+	}
+	return f.PageStore.ReadPages(idxs)
+}
+
+// TestHeapScanPipelineBatchError pins fail-closed behaviour: a mid-scan batch
+// failure ends the scan with a wrapped error naming the page range, for both
+// the synchronous and the prefetching pipeline.
+func TestHeapScanPipelineBatchError(t *testing.T) {
+	h, want := buildScanHeap(t, 600)
+	mid := h.Pages()[h.NumPages()/2]
+	h.store = &failingBatchStore{PageStore: h.store, failFrom: mid}
+
+	for _, cfg := range []ScanConfig{
+		{BatchPages: 2, Prefetch: 0},
+		{BatchPages: 2, Prefetch: 2},
+	} {
+		h.SetScanConfig(cfg)
+		var got int
+		err := h.Scan(func(schema.Row) error { got++; return nil })
+		if err == nil {
+			t.Fatalf("%+v: scan over failing store succeeded", cfg)
+		}
+		if got >= len(want) {
+			t.Fatalf("%+v: consumed all %d rows despite batch failure", cfg, got)
+		}
+	}
+}

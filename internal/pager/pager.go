@@ -121,6 +121,11 @@ func (d *MemDevice) RestoreBlocks(snap map[uint32][]byte) {
 type PageStore interface {
 	// ReadPage returns the 4 KiB logical page at idx.
 	ReadPage(idx uint32) ([]byte, error)
+	// ReadPages returns the logical pages at idxs, in order. Implementations
+	// may amortize per-page costs (verification, enclave transitions) across
+	// the batch, but must return exactly what per-page ReadPage calls would,
+	// and must fail the whole batch on any per-page error.
+	ReadPages(idxs []uint32) ([][]byte, error)
 	// WritePage replaces the logical page at idx. len(data) must be
 	// <= PageSize; shorter pages are zero-padded.
 	WritePage(idx uint32, data []byte) error
@@ -196,6 +201,23 @@ func (p *Pager) ReadPage(idx uint32) ([]byte, error) {
 	}
 	p.insertCache(idx, b)
 	return b, nil
+}
+
+// ReadPages implements PageStore. The plain pager has no per-page crypto or
+// verification to amortize, so the batch is a metered loop over ReadPage.
+func (p *Pager) ReadPages(idxs []uint32) ([][]byte, error) {
+	out := make([][]byte, len(idxs))
+	for i, idx := range idxs {
+		b, err := p.ReadPage(idx)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = b
+	}
+	if p.meter != nil && len(idxs) > 0 {
+		p.meter.ScanBatches.Add(1)
+	}
+	return out, nil
 }
 
 // WritePage implements PageStore.

@@ -1,0 +1,390 @@
+package securestore
+
+import (
+	"crypto/hmac"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ironsafe/internal/pager"
+)
+
+// This file implements the batched secure read path (see DESIGN.md, "Scan
+// pipeline & verification batching"): ReadPages fetches a whole run of
+// pages, decrypts and authenticates them in a bounded worker pool outside
+// the store mutex, then performs one batched Merkle verification that hashes
+// each shared ancestor exactly once instead of once per page. A verified
+// batch may be retained in a bounded plaintext cache so re-scans skip the
+// device, the crypto, and the tree walk entirely.
+
+// ErrSnapshotRetry reports that a batched read raced concurrent commits
+// repeatedly: every attempt observed a commit-sequence bump between fetching
+// the records and verifying them against the tree. The batch as returned
+// would have mixed two transaction-boundary states, so the store refuses it.
+var ErrSnapshotRetry = errors.New("securestore: batched read raced concurrent commits; retry")
+
+// readPagesRetries bounds how many times ReadPages re-fetches a batch that
+// lost the race against a concurrent commit before giving up with
+// ErrSnapshotRetry.
+const readPagesRetries = 4
+
+// ReadPages implements the batched half of pager.PageStore: it returns the
+// plaintext of every page in idxs, in order, or fails the whole batch. The
+// batch is verified against a single commit-boundary state — if commits land
+// between the device fetch and the verification, the batch is re-fetched; a
+// persistent race fails with ErrSnapshotRetry rather than ever returning a
+// torn view. Any authentication or freshness mismatch fails the whole batch
+// with ErrIntegrity (fail closed: no prefix of a bad batch is released).
+func (s *Store) ReadPages(idxs []uint32) ([][]byte, error) {
+	if len(idxs) == 0 {
+		return nil, nil
+	}
+	for attempt := 0; attempt < readPagesRetries; attempt++ {
+		out, retry, err := s.readPagesAt(idxs)
+		if err != nil {
+			return nil, err
+		}
+		if !retry {
+			return out, nil
+		}
+	}
+	return nil, ErrSnapshotRetry
+}
+
+// readPagesAt runs one batched read attempt. retry reports that a concurrent
+// commit moved the store past the snapshot this attempt fetched at.
+func (s *Store) readPagesAt(idxs []uint32) (out [][]byte, retry bool, err error) {
+	out = make([][]byte, len(idxs))
+
+	// Snapshot the commit sequence and satisfy what we can from the
+	// verified-plaintext cache, all under one lock hold.
+	s.mu.Lock()
+	if s.failed != nil {
+		ferr := s.failed
+		s.mu.Unlock()
+		return nil, false, fmt.Errorf("%w: %w", ErrStoreFailed, ferr)
+	}
+	if s.rebuilding {
+		s.mu.Unlock()
+		return nil, false, ErrRebuilding
+	}
+	for _, idx := range idxs {
+		if idx >= s.nextAlloc {
+			s.mu.Unlock()
+			return nil, false, fmt.Errorf("securestore: page %d not allocated", idx)
+		}
+	}
+	seq0 := s.seq
+	var hits, misses int64
+	for i, idx := range idxs {
+		if s.cache != nil {
+			if plain, ok := s.cache.get(idx); ok {
+				out[i] = plain
+				hits++
+				continue
+			}
+		}
+		misses++
+	}
+	s.mu.Unlock()
+
+	s.meter.ScanBatches.Add(1)
+	if s.cache != nil {
+		s.meter.PlainCacheHits.Add(hits)
+		s.meter.PlainCacheMisses.Add(misses)
+	}
+	if misses == 0 {
+		return out, false, nil
+	}
+
+	// Fetch the missing records sequentially, in index order: the device-
+	// operation sequence must stay a deterministic function of the request,
+	// because the fault-injection framework keys its per-site streams on it.
+	miss := make([]int, 0, misses)
+	records := make([][]byte, 0, misses)
+	for i, idx := range idxs {
+		if out[i] != nil {
+			continue
+		}
+		record, rerr := s.dev.ReadBlock(idx)
+		if rerr != nil {
+			return nil, false, rerr
+		}
+		miss = append(miss, i)
+		records = append(records, record)
+	}
+	s.meter.PagesRead.Add(int64(len(miss)))
+
+	// Decrypt + authenticate outside the lock, across up to NumCPU workers.
+	// Errors are collected per page and reported for the lowest page index,
+	// so the outcome does not depend on goroutine scheduling.
+	plains := make([][]byte, len(miss))
+	macs := make([][]byte, len(miss))
+	errs := make([]error, len(miss))
+	workers := runtime.NumCPU()
+	if workers > len(miss) {
+		workers = len(miss)
+	}
+	if workers <= 1 {
+		for k := range miss {
+			plains[k], macs[k], errs[k] = s.openPage(idxs[miss[k]], records[k])
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					k := int(next.Add(1)) - 1
+					if k >= len(miss) {
+						return
+					}
+					plains[k], macs[k], errs[k] = s.openPage(idxs[miss[k]], records[k])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for k, oerr := range errs {
+		if oerr != nil {
+			return nil, false, fmt.Errorf("securestore: batched read of page %d: %w", idxs[miss[k]], oerr)
+		}
+	}
+	s.meter.PagesDecrypted.Add(int64(len(miss)))
+
+	// Verify the whole batch against one tree state. A commit may have landed
+	// while we were off the lock: its records on the medium no longer match
+	// the tree we hold, so the attempt is discarded and re-fetched.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed != nil {
+		return nil, false, fmt.Errorf("%w: %w", ErrStoreFailed, s.failed)
+	}
+	if s.seq != seq0 {
+		return nil, true, nil
+	}
+	leafIdxs := make([]uint32, len(miss))
+	for k, i := range miss {
+		leafIdxs[k] = idxs[i]
+	}
+	if err := s.verifyBatch(leafIdxs, macs); err != nil {
+		return nil, false, err
+	}
+	for k, i := range miss {
+		out[i] = plains[k]
+		if s.cache != nil {
+			s.cache.put(idxs[i], plains[k])
+		}
+	}
+	return out, false, nil
+}
+
+// verifyBatch checks a set of leaves against the trusted in-memory tree with
+// shared-ancestor deduplication: the leaf hash of every page is recomputed
+// and compared, then the distinct parents form a frontier that is hashed and
+// compared level by level — each internal node exactly once, no matter how
+// many pages in the batch sit below it. A batch spanning the whole leaf
+// range therefore degenerates to one full root recomputation. Any mismatch
+// fails the entire batch with ErrIntegrity. The caller holds s.mu.
+//
+// The MerkleHashes meter charges exactly the HMACs evaluated, and
+// MerkleHashesSaved records how many the equivalent sequence of per-page
+// verifyPath calls would have evaluated on top of that.
+func (s *Store) verifyBatch(idxs []uint32, recordMACs [][]byte) error {
+	a := s.opts.arity()
+
+	// Price the sequential baseline first, against the pre-batch verified
+	// map, simulating the marks per-page calls would have left as they went.
+	baseline := 0
+	seen := map[[2]int]bool{}
+	for _, idx := range idxs {
+		baseline++ // leaf hash
+		i := int(idx)
+		for lvl := 1; lvl < len(s.levels); lvl++ {
+			parent := i / a
+			if s.opts.CacheVerifiedSubtrees && (s.verified[[2]int{lvl, parent}] || seen[[2]int{lvl, parent}]) {
+				break
+			}
+			baseline++
+			if s.opts.CacheVerifiedSubtrees {
+				seen[[2]int{lvl, parent}] = true
+			}
+			i = parent
+		}
+	}
+
+	hashed := 0
+	for k, idx := range idxs {
+		leaf := s.leafHash(idx, recordMACs[k])
+		hashed++
+		if !hmac.Equal(leaf, s.levels[0][idx]) {
+			s.meter.MerkleHashes.Add(int64(hashed))
+			return fmt.Errorf("%w: page %d leaf mismatch", ErrIntegrity, idx)
+		}
+	}
+
+	// Propagate a sorted, deduplicated frontier toward the root. Sorting
+	// keeps the comparison order — and therefore which mismatch is reported
+	// — deterministic.
+	frontier := make([]int, len(idxs))
+	for k, idx := range idxs {
+		frontier[k] = int(idx)
+	}
+	sort.Ints(frontier)
+	for lvl := 1; lvl < len(s.levels) && len(frontier) > 0; lvl++ {
+		parents := frontier[:0]
+		last := -1
+		for _, i := range frontier {
+			parent := i / a
+			if parent == last {
+				continue
+			}
+			last = parent
+			if s.opts.CacheVerifiedSubtrees && s.verified[[2]int{lvl, parent}] {
+				continue // subtree already trusted; nothing above it to recheck
+			}
+			lo, hi := parent*a, parent*a+a
+			if hi > len(s.levels[lvl-1]) {
+				hi = len(s.levels[lvl-1])
+			}
+			node := s.hashNode(lvl, parent, s.levels[lvl-1][lo:hi])
+			hashed++
+			if !hmac.Equal(node, s.levels[lvl][parent]) {
+				s.meter.MerkleHashes.Add(int64(hashed))
+				return fmt.Errorf("%w: merkle node (%d,%d) mismatch in batch", ErrIntegrity, lvl, parent)
+			}
+			if s.opts.CacheVerifiedSubtrees {
+				s.verified[[2]int{lvl, parent}] = true
+			}
+			parents = append(parents, parent)
+		}
+		frontier = parents
+	}
+
+	s.meter.MerkleHashes.Add(int64(hashed))
+	if saved := baseline - hashed; saved > 0 {
+		s.meter.MerkleHashesSaved.Add(int64(saved))
+	}
+	s.meter.MerkleVerifies.Add(int64(len(idxs)))
+	return nil
+}
+
+// invalidatePath drops the verified marks of every ancestor of leaf idx.
+// The caller holds s.mu.
+func (s *Store) invalidatePath(idx int) {
+	a := s.opts.arity()
+	for lvl := 1; lvl < len(s.levels); lvl++ {
+		idx /= a
+		delete(s.verified, [2]int{lvl, idx})
+	}
+}
+
+// CacheBytes reports the current size of the verified-plaintext page cache.
+// Hosts running the store inside an SGX enclave add this to TreeBytes when
+// sizing the enclave working set against the EPC limit.
+func (s *Store) CacheBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cache == nil {
+		return 0
+	}
+	return s.cache.bytes
+}
+
+// plainCache is a byte-capped cache of verified plaintext pages with clock
+// (second-chance) eviction. All methods are called with the store mutex
+// held; entries are copied on the way in and out because heap-file code
+// mutates the buffers it is handed.
+type plainCache struct {
+	capBytes int64
+	bytes    int64
+	entries  map[uint32]*plainEntry
+	ring     []uint32 // clock ring of resident page indices
+	hand     int
+}
+
+type plainEntry struct {
+	data []byte
+	ref  bool // second-chance bit
+}
+
+func newPlainCache(capBytes int64) *plainCache {
+	return &plainCache{capBytes: capBytes, entries: map[uint32]*plainEntry{}}
+}
+
+func (c *plainCache) get(idx uint32) ([]byte, bool) {
+	e, ok := c.entries[idx]
+	if !ok {
+		return nil, false
+	}
+	e.ref = true
+	return append([]byte(nil), e.data...), true
+}
+
+func (c *plainCache) put(idx uint32, plain []byte) {
+	if c.capBytes < int64(len(plain)) {
+		return // cache too small to ever hold a page
+	}
+	if e, ok := c.entries[idx]; ok {
+		c.bytes += int64(len(plain)) - int64(len(e.data))
+		e.data = append([]byte(nil), plain...)
+		e.ref = true
+		c.evict()
+		return
+	}
+	c.entries[idx] = &plainEntry{data: append([]byte(nil), plain...)}
+	c.ring = append(c.ring, idx)
+	c.bytes += int64(len(plain))
+	c.evict()
+}
+
+// evict advances the clock hand until the cache fits its byte cap: a
+// referenced entry gets its second chance (bit cleared, hand moves on), an
+// unreferenced one is dropped.
+func (c *plainCache) evict() {
+	for c.bytes > c.capBytes && len(c.ring) > 0 {
+		if c.hand >= len(c.ring) {
+			c.hand = 0
+		}
+		idx := c.ring[c.hand]
+		e, ok := c.entries[idx]
+		if !ok {
+			// Slot belongs to an invalidated entry; compact it away.
+			c.ring = append(c.ring[:c.hand], c.ring[c.hand+1:]...)
+			continue
+		}
+		if e.ref {
+			e.ref = false
+			c.hand++
+			continue
+		}
+		delete(c.entries, idx)
+		c.bytes -= int64(len(e.data))
+		c.ring = append(c.ring[:c.hand], c.ring[c.hand+1:]...)
+	}
+}
+
+// invalidate drops one page (its ring slot is lazily reclaimed by evict).
+func (c *plainCache) invalidate(idx uint32) {
+	if e, ok := c.entries[idx]; ok {
+		c.bytes -= int64(len(e.data))
+		delete(c.entries, idx)
+	}
+}
+
+// clear empties the cache.
+func (c *plainCache) clear() {
+	c.entries = map[uint32]*plainEntry{}
+	c.ring = c.ring[:0]
+	c.hand = 0
+	c.bytes = 0
+}
+
+// compile-time interface check: the secure store satisfies the batched
+// PageStore contract.
+var _ pager.PageStore = (*Store)(nil)

@@ -284,6 +284,7 @@ func (t *Txn) Commit() error {
 		if _, staged := t.pages[idx]; staged {
 			continue
 		}
+		//ironsafe:allow lockcrypto -- gap-fill seals only reserved-but-unwritten zero pages, bounded by the reservation high-water mark
 		record, recordMAC, err := s.sealPage(idx, make([]byte, pager.PageSize))
 		if err != nil {
 			return err
@@ -316,7 +317,26 @@ func (t *Txn) Commit() error {
 		s.nextReserve = newN
 	}
 	s.seq++
-	s.verified = map[[2]int]bool{}
+	// Drop verified marks only for subtrees this transaction actually
+	// touched: the ancestors of every written leaf, plus the old tail leaf's
+	// path when growth changed the boundary node's child range. The gap-fill
+	// above makes entries dense over [oldN, newN), so together these cover
+	// every internal node whose value changed; unrelated subtrees stay warm
+	// across commits. (Recovery and rebuild still reset the whole map — see
+	// readMediumState.)
+	if len(s.verified) > 0 {
+		for _, e := range entries {
+			s.invalidatePath(int(e.Idx))
+		}
+		if newN > oldN && oldN > 0 {
+			s.invalidatePath(int(oldN) - 1)
+		}
+	}
+	if s.cache != nil {
+		for _, e := range entries {
+			s.cache.invalidate(e.Idx)
+		}
+	}
 	postTag := s.rootTag()
 
 	// Journal first: once this write completes the transaction is durable;

@@ -61,6 +61,13 @@ type Options struct {
 	GCM bool
 	// RPMBSlot selects the RPMB address holding the root tag.
 	RPMBSlot uint16
+	// PlainCacheBytes caps the verified-plaintext page cache (batch.go);
+	// 0 disables it. Cached pages skip the device read, the decryption, and
+	// the Merkle walk entirely, and are invalidated precisely when a commit
+	// overwrites them. The cache lives inside the trust boundary, so hosts
+	// running the store in an SGX enclave must count CacheBytes toward the
+	// enclave working set (the Fig 9a EPC paging model).
+	PlainCacheBytes int64
 }
 
 func (o Options) arity() int {
@@ -107,6 +114,7 @@ type Store struct {
 	nextReserve uint32
 	seq         uint64          // commit sequence number, bound into the root tag
 	verified    map[[2]int]bool // (level, index) -> verified since last write
+	cache       *plainCache     // verified-plaintext page cache; nil when disabled
 	failed      error           // set when a commit died mid-flight; poisons the store
 
 	// rebuilding is set while the on-medium rebuild marker (rebuild.go) is
@@ -150,6 +158,9 @@ func newStore(dev pager.BlockDevice, keys KeySource, anchor RootAnchor, meter *s
 		return nil, errors.New("securestore: meter required")
 	}
 	s := &Store{dev: dev, keys: keys, anchor: anchor, meter: meter, opts: opts, verified: map[[2]int]bool{}}
+	if opts.PlainCacheBytes > 0 {
+		s.cache = newPlainCache(opts.PlainCacheBytes)
+	}
 	for _, k := range []struct {
 		label string
 		dst   *[]byte
@@ -233,6 +244,10 @@ func (s *Store) readMediumState() error {
 		s.nextAlloc = 0
 		s.seq = 0
 		s.rebuildLevels(nil)
+		s.verified = map[[2]int]bool{}
+		if s.cache != nil {
+			s.cache.clear()
+		}
 		return nil
 	}
 	if err != nil {
@@ -267,6 +282,12 @@ func (s *Store) readMediumState() error {
 		s.nextReserve = n
 	}
 	s.rebuildLevels(leaves)
+	// The medium was re-read wholesale (open, journal redo, rebuild import):
+	// everything previously verified or cached describes a different state.
+	s.verified = map[[2]int]bool{}
+	if s.cache != nil {
+		s.cache.clear()
+	}
 	return nil
 }
 

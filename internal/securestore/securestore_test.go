@@ -309,10 +309,18 @@ func TestVerifiedSubtreeCacheReducesHashes(t *testing.T) {
 	if second >= first {
 		t.Errorf("cached verify (%d) should be cheaper than first (%d)", second, first)
 	}
-	// A write invalidates the cache.
+	// A write invalidates exactly the written page's ancestor path: the
+	// written subtree pays the full path again, while unrelated verified
+	// subtrees stay warm across the commit (see journal.go, Commit).
 	s.WritePage(5, []byte("new"))
 	base = e.meter.Snapshot()
-	s.ReadPage(1)
+	s.ReadPage(1) // disjoint from page 5 below the invalidated ancestors
+	warm := e.meter.Snapshot().Sub(base).MerkleHashes
+	if warm >= first {
+		t.Errorf("unrelated subtree went cold after commit: %d hashes, first=%d", warm, first)
+	}
+	base = e.meter.Snapshot()
+	s.ReadPage(4) // sibling of the written page: its whole path was dropped
 	third := e.meter.Snapshot().Sub(base).MerkleHashes
 	if third < first {
 		t.Errorf("post-write verify (%d) should pay full path again (first=%d)", third, first)

@@ -36,6 +36,10 @@ type Meter struct {
 	BytesSent          atomic.Int64 // host<->storage protocol bytes
 	BytesReceived      atomic.Int64
 	RowsShipped        atomic.Int64 // filtered rows moved storage->host
+	ScanBatches        atomic.Int64 // batched multi-page reads issued by the scan pipeline
+	MerkleHashesSaved  atomic.Int64 // HMAC evaluations avoided by batched verification
+	PlainCacheHits     atomic.Int64 // verified-plaintext page cache hits
+	PlainCacheMisses   atomic.Int64 // verified-plaintext page cache misses
 }
 
 // Snapshot is an immutable copy of a Meter's counters.
@@ -56,6 +60,10 @@ type Snapshot struct {
 	BytesSent          int64
 	BytesReceived      int64
 	RowsShipped        int64
+	ScanBatches        int64
+	MerkleHashesSaved  int64
+	PlainCacheHits     int64
+	PlainCacheMisses   int64
 }
 
 // Snapshot captures the current counter values.
@@ -77,6 +85,10 @@ func (m *Meter) Snapshot() Snapshot {
 		BytesSent:          m.BytesSent.Load(),
 		BytesReceived:      m.BytesReceived.Load(),
 		RowsShipped:        m.RowsShipped.Load(),
+		ScanBatches:        m.ScanBatches.Load(),
+		MerkleHashesSaved:  m.MerkleHashesSaved.Load(),
+		PlainCacheHits:     m.PlainCacheHits.Load(),
+		PlainCacheMisses:   m.PlainCacheMisses.Load(),
 	}
 }
 
@@ -105,6 +117,10 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		BytesSent:          s.BytesSent - o.BytesSent,
 		BytesReceived:      s.BytesReceived - o.BytesReceived,
 		RowsShipped:        s.RowsShipped - o.RowsShipped,
+		ScanBatches:        s.ScanBatches - o.ScanBatches,
+		MerkleHashesSaved:  s.MerkleHashesSaved - o.MerkleHashesSaved,
+		PlainCacheHits:     s.PlainCacheHits - o.PlainCacheHits,
+		PlainCacheMisses:   s.PlainCacheMisses - o.PlainCacheMisses,
 	}
 }
 

@@ -52,6 +52,10 @@ type Config struct {
 	Meter *simtime.Meter
 	// CacheSize is the plain pager's page cache capacity.
 	CacheSize int
+	// ScanConfig tunes the table-scan pipeline (batched reads + read-ahead)
+	// for every heap on this node; the zero value keeps the sequential
+	// per-page path.
+	ScanConfig pager.ScanConfig
 	// MediumWrapper, when set, wraps the node's raw medium before the page
 	// store opens over it — the chaos and crash-sweep harnesses hook fault
 	// injectors in here. The wrapped device is reused across Restart, so an
@@ -156,6 +160,7 @@ func (s *Server) openStore() error {
 	if err != nil {
 		return err
 	}
+	db.SetScanConfig(s.cfg.ScanConfig)
 	// Publish the swap atomically: a concurrent reader (integrity sweep,
 	// offload) sees either the old consistent pair or the new one.
 	s.mu.Lock()

@@ -77,7 +77,10 @@ func (m Mode) String() string {
 }
 
 // Config configures a Cluster. The zero value plus a Mode gives the paper's
-// defaults (one EU storage node, 96 MiB EPC, binary Merkle tree).
+// defaults (one EU storage node, 96 MiB EPC, binary Merkle tree) with the
+// repo's pipelined scan path on top (32-page batched reads with two batches
+// of read-ahead); set ScanBatchPages to 1 to restore the paper's strictly
+// sequential per-page scans.
 type Config struct {
 	Mode Mode
 	// StorageNodes is how many storage servers to run (Fig 12); 0 means 1.
@@ -95,6 +98,18 @@ type Config struct {
 	MerkleArity           int
 	CacheVerifiedSubtrees bool
 	GCMPages              bool
+	// ScanBatchPages is how many pages each batched secure read covers
+	// during table scans; 0 means 32, 1 restores the paper's sequential
+	// per-page path (one Merkle walk per page).
+	ScanBatchPages int
+	// ScanPrefetchBatches is how many fetched batches the scan pipeline may
+	// hold ahead of row processing; 0 means 2, negative disables read-ahead
+	// (batches fetch synchronously).
+	ScanPrefetchBatches int
+	// PlainCacheBytes caps the secure store's verified-plaintext page cache;
+	// 0 disables it. On hos the cache lives inside the enclave and counts
+	// toward the EPC working set.
+	PlainCacheBytes int64
 	// Locations and firmware versions, checked by execution policies.
 	HostLocation    string
 	StorageLocation string
@@ -140,6 +155,21 @@ func (c *Config) fill() {
 		m := simtime.DefaultModel()
 		c.CostModel = &m
 	}
+	if c.ScanBatchPages == 0 {
+		c.ScanBatchPages = 32
+	}
+	if c.ScanPrefetchBatches == 0 {
+		c.ScanPrefetchBatches = 2
+	}
+}
+
+// scanConfig translates the cluster knobs into the pager's pipeline config.
+func (c *Config) scanConfig() pager.ScanConfig {
+	prefetch := c.ScanPrefetchBatches
+	if prefetch < 0 {
+		prefetch = 0
+	}
+	return pager.ScanConfig{BatchPages: c.ScanBatchPages, Prefetch: prefetch}
 }
 
 // Cluster is a running IronSafe deployment: monitor + host + storage.
@@ -220,11 +250,13 @@ func NewCluster(cfg Config) (*Cluster, error) {
 				Arity:                 cfg.MerkleArity,
 				CacheVerifiedSubtrees: cfg.CacheVerifiedSubtrees,
 				GCM:                   cfg.GCMPages,
+				PlainCacheBytes:       cfg.PlainCacheBytes,
 			},
 			MemoryBudget:  cfg.StorageMemoryBudget,
 			Cores:         cfg.StorageCores,
 			Meter:         c.StorageMeter,
 			MediumWrapper: cfg.StorageDeviceWrapper,
+			ScanConfig:    cfg.scanConfig(),
 		})
 		if err != nil {
 			return nil, err
@@ -326,11 +358,20 @@ func (c *Cluster) initHostDB() error {
 			Arity:                 c.cfg.MerkleArity,
 			CacheVerifiedSubtrees: c.cfg.CacheVerifiedSubtrees,
 			GCM:                   c.cfg.GCMPages,
+			PlainCacheBytes:       c.cfg.PlainCacheBytes,
 		})
 		if err != nil {
 			return err
 		}
-		store = &hostengine.EnclavePageStore{Inner: inner, Enclave: c.Host.Enclave(), TreeBytes: inner.TreeBytes}
+		// Both the Merkle tree and the verified-plaintext cache live inside
+		// the enclave, so both count toward the EPC working set (Fig 9a).
+		store = &hostengine.EnclavePageStore{
+			Inner:   inner,
+			Enclave: c.Host.Enclave(),
+			TreeBytes: func() int64 {
+				return inner.TreeBytes() + inner.CacheBytes()
+			},
+		}
 	} else {
 		store = pager.NewPager(remote, c.HostMeter, 256)
 	}
@@ -338,6 +379,7 @@ func (c *Cluster) initHostDB() error {
 	if err != nil {
 		return err
 	}
+	db.SetScanConfig(c.cfg.scanConfig())
 	c.hostDB = db
 	return nil
 }
@@ -436,6 +478,14 @@ func (c *Cluster) SetAccessPolicy(policySource string) error {
 // RegisterService assigns a client key its reuse-bitmap position.
 func (c *Cluster) RegisterService(clientKey string, bit int) {
 	c.Monitor.RegisterService(clientKey, bit)
+}
+
+// PublishScanTelemetry pushes the host's and storage side's current
+// scan-pipeline counters to the monitor, where ScanTelemetryReport exposes
+// them (batches issued, Merkle hashes saved, plaintext-cache hit rates).
+func (c *Cluster) PublishScanTelemetry() {
+	c.Monitor.ReportScanTelemetry("host-1", c.HostMeter.Snapshot())
+	c.Monitor.ReportScanTelemetry("storage", c.StorageMeter.Snapshot())
 }
 
 // MonitorPublicKey is what clients pin to verify proofs and audit trails.

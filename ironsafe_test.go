@@ -2,6 +2,7 @@ package ironsafe
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -395,5 +396,44 @@ func TestExplainOnCluster(t *testing.T) {
 	}
 	if !strings.Contains(plan, "scan flights") || !strings.Contains(plan, "filter") {
 		t.Errorf("plan = %q", plan)
+	}
+}
+
+// TestScanTelemetryPublished pins the monitor surfacing of the scan-pipeline
+// counters: after a scan under the default (batched) configuration, the
+// storage node reports batches issued and Merkle hashes saved.
+func TestScanTelemetryPublished(t *testing.T) {
+	c := newFlightCluster(t, IronSafe)
+	// The scan pipeline only batches multi-page heaps; grow the table past
+	// one page before scanning.
+	var ins strings.Builder
+	ins.WriteString("INSERT INTO flights VALUES")
+	for i := 0; i < 400; i++ {
+		if i > 0 {
+			ins.WriteString(",")
+		}
+		fmt.Fprintf(&ins, " (%d, 'pax-%04d', 'PT', 99.00, '1995-06-01')", 100+i, i)
+	}
+	mustExec(t, c, ins.String())
+	sess := c.NewSession("Ka")
+	if _, err := sess.Query("SELECT count(*) FROM flights"); err != nil {
+		t.Fatal(err)
+	}
+	c.PublishScanTelemetry()
+	report := c.Monitor.ScanTelemetryReport()
+	if len(report) != 2 {
+		t.Fatalf("telemetry from %d nodes, want host-1 and storage", len(report))
+	}
+	var storage *monitor.ScanTelemetry
+	for i := range report {
+		if report[i].Node == "storage" {
+			storage = &report[i]
+		}
+	}
+	if storage == nil {
+		t.Fatal("no storage-node telemetry")
+	}
+	if storage.ScanBatches == 0 {
+		t.Error("storage reported zero scan batches under the batched default")
 	}
 }
