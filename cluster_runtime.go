@@ -7,6 +7,7 @@ import (
 
 	"ironsafe/internal/engine"
 	"ironsafe/internal/hostengine"
+	"ironsafe/internal/monitor"
 	"ironsafe/internal/pager"
 	"ironsafe/internal/resilience"
 	"ironsafe/internal/securestore"
@@ -319,6 +320,7 @@ func (c *Cluster) connectNode(srv *storageengine.Server, id, sessionID string, s
 // target one leg of a rebuild without touching queries.
 func (c *Cluster) dialNodeChannel(srv *storageengine.Server, site, sessionID string, sessionKey []byte) (*hostengine.RemoteNode, error) {
 	hostSide, storageSide := net.Pipe()
+	//ironsafe:allow policypath -- ServeConn only executes fragments arriving over the monitor-keyed channel; the session key it requires is minted by Authorize, so the policy decision dominates at runtime one hop upstream
 	go srv.ServeConn(storageSide)
 	var conn net.Conn = hostSide
 	if c.cfg.ConnWrapper != nil {
@@ -346,7 +348,15 @@ func (c *Cluster) dialNodeChannel(srv *storageengine.Server, site, sessionID str
 // locally. IronSafe (scs) mode has no such fallback — its medium is
 // encrypted under storage-node keys the host by design does not hold, so
 // scs survives node loss only through surviving replicas.
-func (c *Cluster) hostFallbackExecute(sqlText string) (*exec.Result, error) {
+//
+// The fallback takes the full authorization, not just the rewritten SQL,
+// and re-verifies the monitor's proof before mounting anything: the
+// degraded path bypasses the per-node session-key machinery, so it must
+// not also bypass the evidence that the monitor approved this exact query.
+func (c *Cluster) hostFallbackExecute(auth *monitor.Authorization) (*exec.Result, error) {
+	if !monitor.VerifyProof(c.MonitorPublicKey(), &auth.Proof) {
+		return nil, fmt.Errorf("ironsafe: host fallback refused: monitor proof failed verification")
+	}
 	var srv *storageengine.Server
 	for _, s := range c.Storage {
 		id, _, _ := s.Info()
@@ -364,5 +374,5 @@ func (c *Cluster) hostFallbackExecute(sqlText string) (*exec.Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ironsafe: host fallback mount: %w", err)
 	}
-	return c.Host.ExecuteLocal(db, sqlText)
+	return c.Host.ExecuteLocal(db, auth.RewrittenSQL)
 }

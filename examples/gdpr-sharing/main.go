@@ -67,6 +67,7 @@ func main() {
 	fmt.Printf("airline A sees %s records\n\n", qr.Result.Rows[0][0])
 
 	// --- B cannot modify the data.
+	//ironsafe:allow failopen -- the write denial IS the demo: printing the policy error and continuing is this example's point
 	if _, err := cluster.NewSession("Kb").Query(
 		"DELETE FROM passengers WHERE id = 1"); err != nil {
 		fmt.Printf("hotel B write denied: %v\n\n", err)

@@ -62,6 +62,7 @@ func main() {
 	fmt.Printf("modeled latency on the paper's hardware: %v\n", qr.Stats.Cost.Total())
 
 	// 5. An unknown identity is denied by policy.
+	//ironsafe:allow failopen -- the denial IS the demo: printing the policy error and continuing is this example's point
 	if _, err := cluster.NewSession("Mallory").Query("SELECT * FROM bookings"); err != nil {
 		fmt.Printf("mallory denied: %v\n", err)
 	}

@@ -7,11 +7,15 @@
 //
 // The package deliberately mirrors the golang.org/x/tools/go/analysis API
 // shape (Analyzer, Pass, Diagnostic) but is built on the standard library
-// only: this build environment vendors no third-party modules, so the suite
-// runs purely syntactically over parsed ASTs with per-file import-alias
-// resolution. If x/tools ever becomes vendorable the analyzers port to real
-// *analysis.Analyzer values almost mechanically (see DESIGN.md, "Static
-// analysis & invariants").
+// only: this build environment vendors no third-party modules. The older
+// analyzers run syntactically over parsed ASTs with per-file import-alias
+// resolution; the dataflow analyzers (plainflow, failopen, policypath)
+// additionally consume go/types results — the loader type-checks the whole
+// module with a tolerant importer (typecheck.go) and a forward taint engine
+// with one-call-deep function summaries runs on top (taint.go). If x/tools
+// ever becomes vendorable the analyzers port to real *analysis.Analyzer
+// values almost mechanically (see DESIGN.md, "Static analysis &
+// invariants").
 //
 // # Allow directives
 //
@@ -21,9 +25,11 @@
 //	//ironsafe:allow <check>[,<check>...] -- <rationale>
 //
 // where <check> is an analyzer name (wallclock, cryptorand, sealerr,
-// boundary, rawnet, journalbypass, readmit, lockcrypto). The rationale text is free-form but should say why the
-// invariant genuinely does not apply; directives are grep-able so reviews
-// can audit every escape hatch in one pass.
+// boundary, rawnet, journalbypass, readmit, lockcrypto, plainflow,
+// failopen, policypath, directive). The rationale text is mandatory — the
+// directive analyzer flags suppressions without one — and should say why
+// the invariant genuinely does not apply; directives are grep-able so
+// reviews can audit every escape hatch in one pass.
 package analysis
 
 import (
@@ -47,7 +53,8 @@ type Analyzer struct {
 	Run func(pass *Pass) error
 }
 
-// A Pass provides one analyzer with one package's parsed syntax.
+// A Pass provides one analyzer with one package's parsed syntax and type
+// information.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
@@ -57,6 +64,11 @@ type Pass struct {
 	Path string
 	// Files holds the package's parsed files, comments included.
 	Files []*ast.File
+	// Pkg is the full package, including go/types results (Pkg.TypesInfo)
+	// and the Module back-reference for cross-package summaries. Type
+	// information is tolerant: analyzers must treat missing entries as
+	// "unknown", not as errors.
+	Pkg *Package
 
 	report func(Diagnostic)
 }
@@ -171,6 +183,7 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 			Fset:     pkg.Fset,
 			Path:     pkg.Path,
 			Files:    pkg.Files,
+			Pkg:      pkg,
 		}
 		pass.report = func(d Diagnostic) {
 			pos := pkg.Fset.Position(d.Pos)

@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A DirectiveInfo is one parsed //ironsafe:allow comment, for auditing and
+// the machine-readable findings record.
+type DirectiveInfo struct {
+	Pos       token.Position
+	Analyzers []string
+	// Rationale is the free-form justification after " -- ", "" if absent.
+	Rationale string
+}
+
+// CollectDirectives parses every allow directive in the package.
+func CollectDirectives(pkg *Package) []DirectiveInfo {
+	var out []DirectiveInfo
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				rationale := ""
+				if i := strings.Index(c.Text, " -- "); i >= 0 {
+					rationale = strings.TrimSpace(c.Text[i+4:])
+				}
+				out = append(out, DirectiveInfo{
+					Pos:       pkg.Fset.Position(c.Pos()),
+					Analyzers: names,
+					Rationale: rationale,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Directive audits the escape hatches themselves: every //ironsafe:allow
+// must name analyzers that actually exist and carry a " -- rationale"
+// justifying why the invariant does not apply at that site. An allow without
+// a rationale is unreviewable — the whole point of the directive is that a
+// reviewer can audit every suppression in one grep.
+var Directive = &Analyzer{
+	Name: "directive",
+	Doc:  "flag //ironsafe:allow directives that lack a rationale or name unknown analyzers",
+}
+
+func init() {
+	// Assigned in init to break the Directive -> runDirective -> Suite ->
+	// Directive initialization cycle.
+	Directive.Run = runDirective
+}
+
+func runDirective(pass *Pass) error {
+	known := map[string]bool{}
+	for _, a := range Suite() {
+		known[a.Name] = true
+	}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				if !strings.Contains(c.Text, " -- ") {
+					pass.Reportf(c.Pos(), "allow directive for %s has no rationale; append ` -- <why the invariant does not apply here>`",
+						strings.Join(names, ","))
+				}
+				for _, n := range names {
+					if !known[n] {
+						pass.Reportf(c.Pos(), "allow directive names unknown analyzer %q (run ironsafe-vet -list)", n)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// fileIsTest reports whether the file was parsed from a _test.go file.
+func fileIsTest(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+}

@@ -3,15 +3,17 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 )
 
-// A Package is one directory's worth of parsed, non-test Go source.
+// A Package is one directory's worth of parsed, type-checked Go source.
 type Package struct {
 	// Name is the package clause name.
 	Name string
@@ -21,6 +23,33 @@ type Package struct {
 	Dir   string
 	Fset  *token.FileSet
 	Files []*ast.File
+
+	// External marks an external test package (package foo_test) split out
+	// of the same directory when tests are loaded.
+	External bool
+
+	// Types and TypesInfo are the go/types results for the package. The
+	// checker is tolerant: both are non-nil after loading even when
+	// TypeErrors is non-empty, and analyzers must treat missing or invalid
+	// type information as "unknown", never as an error.
+	Types      *types.Package
+	TypesInfo  *types.Info
+	TypeErrors []error
+
+	// Module links back to the load this package belongs to, giving
+	// analyzers access to sibling packages and cross-package summaries.
+	Module *Module
+}
+
+// LoadConfig tunes Load/LoadDir behaviour.
+type LoadConfig struct {
+	// IncludeTests parses _test.go files too. In-package test files join
+	// the package's file list; external test files (package foo_test)
+	// become a separate Package with External set. The invariant suite
+	// then applies to test code as well (individual analyzers may still
+	// exempt test files where real time or test-only shortcuts are
+	// legitimate).
+	IncludeTests bool
 }
 
 // ModuleRoot walks upward from dir to the nearest directory containing
@@ -42,14 +71,18 @@ func ModuleRoot(dir string) (string, error) {
 	}
 }
 
-// Load resolves package patterns relative to the module rooted at root and
-// parses each matched directory into a Package. Patterns follow the go tool:
-// a path selects one directory; a path ending in "/..." selects the
-// directory and everything below it. Directories named testdata or vendor,
-// and hidden directories, are skipped, as are _test.go files — the suite
-// checks shipped code, and tests legitimately use real time and test-only
-// shortcuts.
+// Load resolves package patterns relative to the module rooted at root,
+// parses each matched directory into a Package, and runs the go/types
+// checker over all of them. Patterns follow the go tool: a path selects one
+// directory; a path ending in "/..." selects the directory and everything
+// below it. Directories named testdata or vendor, and hidden directories,
+// are skipped, as are _test.go files — use LoadWith to include tests.
 func Load(root string, patterns []string) ([]*Package, error) {
+	return LoadWith(root, patterns, LoadConfig{})
+}
+
+// LoadWith is Load with explicit configuration.
+func LoadWith(root string, patterns []string, cfg LoadConfig) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -102,6 +135,7 @@ func Load(root string, patterns []string) ([]*Package, error) {
 	}
 	sort.Strings(sorted)
 
+	mod := newModule(root)
 	var pkgs []*Package
 	for _, dir := range sorted {
 		rel, err := filepath.Rel(root, dir)
@@ -111,43 +145,102 @@ func Load(root string, patterns []string) ([]*Package, error) {
 		if rel == "." {
 			rel = ""
 		}
-		pkg, err := LoadDir(dir, filepath.ToSlash(rel))
+		loaded, err := loadDirWith(dir, filepath.ToSlash(rel), cfg)
 		if err != nil {
 			return nil, err
 		}
-		if pkg != nil {
+		for _, pkg := range loaded {
+			pkg.Module = mod
+			key := pkg.Path
+			if pkg.External {
+				key += " [test]"
+			}
+			mod.pkgs[key] = pkg
 			pkgs = append(pkgs, pkg)
 		}
+	}
+	for _, pkg := range pkgs {
+		mod.check(pkg)
 	}
 	return pkgs, nil
 }
 
-// LoadDir parses the non-test Go files of a single directory into a Package
-// with the given module-relative path. It returns (nil, nil) if the
-// directory holds no non-test Go files.
+// LoadDir parses and type-checks the non-test Go files of a single
+// directory into a Package with the given module-relative path, outside any
+// module (internal imports resolve to placeholders). It returns (nil, nil)
+// if the directory holds no non-test Go files.
 func LoadDir(dir, path string) (*Package, error) {
+	pkgs, err := LoadDirWith(dir, path, LoadConfig{})
+	if err != nil || len(pkgs) == 0 {
+		return nil, err
+	}
+	return pkgs[0], nil
+}
+
+// LoadDirWith is LoadDir with explicit configuration; with IncludeTests it
+// can return two packages (the package and its external test package).
+func LoadDirWith(dir, path string, cfg LoadConfig) ([]*Package, error) {
+	loaded, err := loadDirWith(dir, path, cfg)
+	if err != nil {
+		return nil, err
+	}
+	mod := newModule("")
+	for _, pkg := range loaded {
+		pkg.Module = mod
+		key := pkg.Path
+		if pkg.External {
+			key += " [test]"
+		}
+		mod.pkgs[key] = pkg
+	}
+	for _, pkg := range loaded {
+		mod.check(pkg)
+	}
+	return loaded, nil
+}
+
+// loadDirWith parses one directory without type-checking. Build-constrained
+// files (//go:build tags, GOOS/GOARCH file name suffixes, "ignore" tags) are
+// matched against the host context exactly as the go tool would, so a
+// dissatisfied constraint excludes the file here too.
+func loadDirWith(dir, path string, cfg LoadConfig) ([]*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	fset := token.NewFileSet()
-	pkg := &Package{Path: path, Dir: dir, Fset: fset}
+	pkg := &Package{Path: path, Dir: dir, Fset: sharedFset}
+	ext := &Package{Path: path, Dir: dir, Fset: sharedFset, External: true}
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
 			continue
 		}
-		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		isTest := strings.HasSuffix(name, "_test.go")
+		if isTest && !cfg.IncludeTests {
+			continue
+		}
+		if match, err := build.Default.MatchFile(dir, name); err != nil || !match {
+			continue
+		}
+		f, err := parser.ParseFile(sharedFset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
 			return nil, fmt.Errorf("analysis: %w", err)
 		}
-		if pkg.Name == "" {
-			pkg.Name = f.Name.Name
+		target := pkg
+		if isTest && strings.HasSuffix(f.Name.Name, "_test") {
+			target = ext
 		}
-		pkg.Files = append(pkg.Files, f)
+		if target.Name == "" {
+			target.Name = f.Name.Name
+		}
+		target.Files = append(target.Files, f)
 	}
-	if len(pkg.Files) == 0 {
-		return nil, nil
+	var out []*Package
+	if len(pkg.Files) > 0 {
+		out = append(out, pkg)
 	}
-	return pkg, nil
+	if len(ext.Files) > 0 {
+		out = append(out, ext)
+	}
+	return out, nil
 }

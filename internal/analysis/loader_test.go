@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFiles(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		p := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestLoaderIncludeTests checks the IncludeTests flag: in-package test
+// files join the package, external test files (package foo_test) split into
+// their own Package, and neither is seen without the flag.
+func TestLoaderIncludeTests(t *testing.T) {
+	dir := writeFiles(t, map[string]string{
+		"a.go":          "package x\n\nfunc A() int { return 1 }\n",
+		"a_test.go":     "package x\n\nfunc helperForTests() int { return A() }\n",
+		"a_ext_test.go": "package x_test\n\nfunc External() {}\n",
+	})
+
+	pkgs, err := LoadDirWith(dir, "x", LoadConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || len(pkgs[0].Files) != 1 {
+		t.Fatalf("without IncludeTests: got %d packages (files %d), want 1 package with 1 file", len(pkgs), len(pkgs[0].Files))
+	}
+
+	pkgs, err = LoadDirWith(dir, "x", LoadConfig{IncludeTests: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("with IncludeTests: got %d packages, want package + external test package", len(pkgs))
+	}
+	if pkgs[0].External || len(pkgs[0].Files) != 2 {
+		t.Errorf("in-package: External=%v files=%d, want false/2", pkgs[0].External, len(pkgs[0].Files))
+	}
+	if !pkgs[1].External || pkgs[1].Name != "x_test" || len(pkgs[1].Files) != 1 {
+		t.Errorf("external: External=%v name=%s files=%d, want true/x_test/1", pkgs[1].External, pkgs[1].Name, len(pkgs[1].Files))
+	}
+	// Both must carry type information; the external package's types path
+	// must not collide with the real package's.
+	for _, pkg := range pkgs {
+		if pkg.Types == nil || pkg.TypesInfo == nil {
+			t.Errorf("%s external=%v: missing type info", pkg.Path, pkg.External)
+		}
+	}
+	if pkgs[0].Types.Path() == pkgs[1].Types.Path() {
+		t.Errorf("package and external test package share types path %q", pkgs[0].Types.Path())
+	}
+}
+
+// TestLoaderHonorsBuildTags checks that files excluded by //go:build
+// constraints or GOOS file-name suffixes are skipped exactly as the go tool
+// would skip them.
+func TestLoaderHonorsBuildTags(t *testing.T) {
+	dir := writeFiles(t, map[string]string{
+		"keep.go":    "package x\n\nfunc Keep() {}\n",
+		"ignored.go": "//go:build ignore\n\npackage x\n\nfunc Ignored() {}\n",
+		// Neither GOOS can be the host: no test box is both.
+		"skip_windows.go": "package x\n\nfunc OnWindows() {}\n",
+		"skip_plan9.go":   "package x\n\nfunc OnPlan9() {}\n",
+	})
+	pkg, err := LoadDir(dir, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg == nil {
+		t.Fatal("no package loaded")
+	}
+	var names []string
+	for _, f := range pkg.Files {
+		names = append(names, filepath.Base(pkg.Fset.Position(f.Pos()).Filename))
+	}
+	if len(names) != 1 || names[0] != "keep.go" {
+		t.Errorf("loaded files = %v, want just keep.go", names)
+	}
+}
+
+// TestLoadWithTestsOverModule smoke-tests a module-wide test-inclusive
+// load: the repo's own test files must parse, split, and type-check.
+func TestLoadWithTestsOverModule(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := ModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadWith(root, []string{"./internal/securestore"}, LoadConfig{IncludeTests: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testFiles := 0
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			if fileIsTest(pkg.Fset, f) {
+				testFiles++
+			}
+		}
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("%s (external=%v): type error: %v", pkg.Path, pkg.External, terr)
+		}
+	}
+	if testFiles == 0 {
+		t.Error("IncludeTests load of internal/securestore found no test files")
+	}
+}

@@ -1,0 +1,219 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// Policypath proves policy-check coverage: in the packages that host query
+// entry points (the module root, cmd/*, internal/ctl, examples), every call
+// that executes a query or scans storage must be lexically dominated — in
+// the same function — by a monitor policy decision (Authorize, VerifyProof,
+// Decide, ...). The reference monitor is only complete if there is no
+// execution path around it; this analyzer makes "I forgot to authorize
+// first" a build break instead of a code-review hope.
+//
+// One call deep, helpers are summarized: a module-internal function whose
+// body executes queries without its own policy check becomes a sink at
+// every call site, and a helper that performs a policy check becomes a
+// dominator — so extracting either side into a function neither hides a
+// violation nor breaks a legitimate flow. Functions named like executors
+// (ExecuteLocal et al.) are the mechanism itself; the obligation sits with
+// their callers, so their bodies are skipped.
+var Policypath = &Analyzer{
+	Name: "policypath",
+	Doc:  "query execution and storage scans must be preceded by a monitor policy decision in the same function",
+	Run:  runPolicypath,
+}
+
+// policypathScope are the module-relative path prefixes where query entry
+// points live. Engine/pager internals are the mechanism below the monitor
+// and are excluded by design (see DESIGN.md).
+var policypathScope = []string{"", "cmd", "internal/ctl", "examples"}
+
+func pathInPolicyScope(path string) bool {
+	if path == "" {
+		return true
+	}
+	for _, p := range policypathScope[1:] {
+		if hasPrefixPath(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// policySinks are the query-execution and storage-scan calls that require a
+// prior policy decision.
+var policySinks = []*funcRule{
+	{name: "ExecuteSplitProvider", anyPkg: true},
+	{name: "ExecuteSplit", anyPkg: true},
+	{name: "ExecuteLocal", anyPkg: true},
+	{name: "ExecOffload", anyPkg: true},
+	{name: "Scan", modPrefixes: []string{"internal/pager", "internal/engine"}},
+}
+
+// policyDominators are the monitor decision points that discharge the
+// obligation.
+var policyDominators = []*funcRule{
+	{name: "Authorize", anyPkg: true},
+	{name: "VerifyProof", anyPkg: true},
+	{name: "VerifyHostCert", anyPkg: true},
+	{name: "Decide", anyPkg: true},
+	{name: "Evaluate", anyPkg: true},
+}
+
+// A policySummary abstracts a callee for one-call-deep domination: does its
+// body execute queries, and does it perform its own policy check first?
+type policySummary struct {
+	hasSink bool
+	hasDom  bool
+}
+
+func isPolicySinkCall(pkg *Package, f *ast.File, call *ast.CallExpr) (string, bool) {
+	for _, r := range policySinks {
+		if ruleMatches(pkg.Module, pkg.TypesInfo, f, r, call) {
+			return calleeName(call), true
+		}
+	}
+	return "", false
+}
+
+func isPolicyDomCall(pkg *Package, f *ast.File, call *ast.CallExpr) bool {
+	for _, r := range policyDominators {
+		if ruleMatches(pkg.Module, pkg.TypesInfo, f, r, call) {
+			return true
+		}
+	}
+	// ctl-style dynamic dispatch: client.Call("authorize", ...) reaches the
+	// monitor's authorize handler on the other end of the control plane.
+	if calleeName(call) == "Call" && len(call.Args) > 0 {
+		if lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit); ok && lit.Kind == token.STRING {
+			if s, err := strconv.Unquote(lit.Value); err == nil && s == "authorize" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isExecutorDecl reports whether the function declaration IS one of the
+// execution mechanisms (its name matches a sink rule), whose body is
+// exempt.
+func isExecutorDecl(fd *ast.FuncDecl) bool {
+	for _, r := range policySinks {
+		if r.anyPkg && r.nameMatches(fd.Name.Name) {
+			return true
+		}
+	}
+	return false
+}
+
+// policySummaryOf computes (cached) the sink/dominator content of a
+// module-internal callee, using only direct rule matches — one call deep.
+func (m *Module) policySummaryOf(pkg *Package, call *ast.CallExpr) *policySummary {
+	fn := calleeFunc(pkg.TypesInfo, call)
+	if fn == nil || m == nil {
+		return nil
+	}
+	if _, isMod := m.modRelOf(fn.Pkg()); !isMod {
+		return nil
+	}
+	if m.policySums == nil {
+		m.policySums = map[*types.Func]*policySummary{}
+	}
+	if sum, ok := m.policySums[fn]; ok {
+		return sum
+	}
+	m.policySums[fn] = nil // self-recursion guard
+	ref := m.funcFor(fn)
+	if ref == nil {
+		return nil
+	}
+	if isExecutorDecl(ref.decl) {
+		return nil // direct sink rules already cover it
+	}
+	file := fileOf(ref.pkg, ref.decl.Pos())
+	sum := &policySummary{}
+	allows := parseAllows(ref.pkg.Fset, ref.pkg.Files)
+	ast.Inspect(ref.decl.Body, func(n ast.Node) bool {
+		c, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, isSink := isPolicySinkCall(ref.pkg, file, c); isSink {
+			// A suppressed sink in the callee is a reviewed exception and
+			// must not resurface at every caller.
+			if !allows.allowed("policypath", ref.pkg.Fset.Position(c.Pos())) {
+				sum.hasSink = true
+			}
+		}
+		if isPolicyDomCall(ref.pkg, file, c) {
+			sum.hasDom = true
+		}
+		return true
+	})
+	m.policySums[fn] = sum
+	return sum
+}
+
+func runPolicypath(pass *Pass) error {
+	if !pathInPolicyScope(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if fileIsTest(pass.Fset, f) {
+			// Tests exercise executors directly against fixtures; the
+			// invariant targets production entry points.
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || isExecutorDecl(fd) {
+				continue
+			}
+			checkPolicyFunc(pass, f, fd)
+		}
+	}
+	return nil
+}
+
+// checkPolicyFunc walks the body in lexical order; a sink is a finding
+// unless a dominator appeared earlier in the same body. Function literals
+// are analyzed inline, so a dominator in the enclosing flow covers the
+// literal (the common pattern: authorize, then hand a closure to the
+// executor).
+func checkPolicyFunc(pass *Pass, f *ast.File, fd *ast.FuncDecl) {
+	mod := pass.Pkg.Module
+	domSeen := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isPolicyDomCall(pass.Pkg, f, call) {
+			domSeen = true
+			return true
+		}
+		if name, isSink := isPolicySinkCall(pass.Pkg, f, call); isSink {
+			if !domSeen {
+				pass.Reportf(call.Pos(), "%s executes without a prior policy decision in this function; call the monitor (Authorize/VerifyProof/Decide) first", name)
+			}
+			return true
+		}
+		if mod != nil {
+			if sum := mod.policySummaryOf(pass.Pkg, call); sum != nil {
+				if sum.hasDom {
+					// The callee performs its own policy check: it both
+					// discharges its own sinks and dominates what follows.
+					domSeen = true
+				} else if sum.hasSink && !domSeen {
+					pass.Reportf(call.Pos(), "%s executes queries without a policy decision on any path to it; authorize before calling it", calleeName(call))
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,273 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// taintFixture lives (by declared path) under internal/securestore so the
+// plainflow source rules treat its ReadPage/DeriveKey as the real API.
+const taintFixture = `package tt
+
+type Store struct{}
+
+func (s *Store) ReadPage(id uint32) ([]byte, error) { return nil, nil }
+func (s *Store) sealPage(p []byte) []byte           { return p }
+func DeriveKey(label string) []byte                 { return nil }
+func WriteBlock(id uint32, b []byte) error          { return nil }
+
+func ident(b []byte) []byte { return b }
+func sink(b []byte)         { WriteBlock(9, b) }
+
+func assign(s *Store) {
+	p, _ := s.ReadPage(1)
+	q := p
+	_ = q
+}
+
+func viaCall(s *Store) {
+	p, _ := s.ReadPage(1)
+	q := ident(p)
+	_ = q
+}
+
+func composite(s *Store) {
+	p, _ := s.ReadPage(1)
+	q := [][]byte{p}
+	_ = q
+}
+
+func viaReturnHelper(s *Store) []byte {
+	p, _ := s.ReadPage(1)
+	return p
+}
+
+func fromHelper(s *Store) {
+	q := viaReturnHelper(s)
+	_ = q
+}
+
+func sanitized(s *Store) {
+	p, _ := s.ReadPage(1)
+	q := s.sealPage(p)
+	_ = q
+}
+
+func sliced(s *Store) {
+	p, _ := s.ReadPage(1)
+	q := p[1:3]
+	k := DeriveKey("x")
+	r := append(q, k...)
+	_ = r
+}
+
+func ranged(s *Store) {
+	pages, _ := s.ReadPage(1)
+	var q byte
+	for _, b := range pages {
+		q = b
+	}
+	_ = q
+}
+
+func sinkHitFn(s *Store) {
+	p, _ := s.ReadPage(1)
+	sink(p)
+}
+
+func sinkCleanFn(s *Store) {
+	p, _ := s.ReadPage(1)
+	sink(s.sealPage(p))
+}
+`
+
+func loadTaintFixture(t *testing.T) *Package {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(taintFixture), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(dir, "internal/securestore/tt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg == nil {
+		t.Fatal("fixture produced no package")
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("fixture has type errors: %v", pkg.TypeErrors)
+	}
+	return pkg
+}
+
+func funcDeclNamed(t *testing.T, pkg *Package, name string) (*ast.File, *ast.FuncDecl) {
+	t.Helper()
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+				return f, fd
+			}
+		}
+	}
+	t.Fatalf("no function %s in fixture", name)
+	return nil, nil
+}
+
+func varObjNamed(pkg *Package, fd *ast.FuncDecl, name string) types.Object {
+	var obj types.Object
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			if o := pkg.TypesInfo.Defs[id]; o != nil {
+				obj = o
+			}
+		}
+		return true
+	})
+	return obj
+}
+
+// TestTaintLattice drives the intraprocedural engine through every
+// propagation shape the analyzers rely on.
+func TestTaintLattice(t *testing.T) {
+	pkg := loadTaintFixture(t)
+	cases := []struct {
+		fn, v string
+		want  Taint
+	}{
+		{"assign", "q", TaintPlaintext},            // plain assignment
+		{"viaCall", "q", TaintPlaintext},           // call via summary flow
+		{"composite", "q", TaintPlaintext},         // composite literal
+		{"fromHelper", "q", TaintPlaintext},        // summary result taint
+		{"sanitized", "q", 0},                      // sanitizer kills taint
+		{"sliced", "r", TaintPlaintext | TaintKey}, // slice + append join kinds
+		{"ranged", "q", TaintPlaintext},            // range over tainted value
+	}
+	for _, tc := range cases {
+		t.Run(tc.fn, func(t *testing.T) {
+			f, fd := funcDeclNamed(t, pkg, tc.fn)
+			eng := newTaintEngine(pkg, f, plainflowRules, true)
+			eng.run(fd.Body, nil)
+			obj := varObjNamed(pkg, fd, tc.v)
+			if obj == nil {
+				t.Fatalf("no variable %q in %s", tc.v, tc.fn)
+			}
+			if got := eng.vars[obj]; got != tc.want {
+				t.Errorf("taint(%s.%s) = %v, want %v", tc.fn, tc.v, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestTaintSummaries checks the one-call-deep function abstractions:
+// param-to-result flow, inherent result taint, and parameter sinks.
+func TestTaintSummaries(t *testing.T) {
+	pkg := loadTaintFixture(t)
+	fnOf := func(name string) *types.Func {
+		_, fd := funcDeclNamed(t, pkg, name)
+		fn, ok := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+		if !ok {
+			t.Fatalf("no types.Func for %s", name)
+		}
+		return fn
+	}
+
+	sum := pkg.Module.taintSummary(fnOf("ident"), plainflowRules)
+	if sum == nil || len(sum.flows) != 1 || len(sum.flows[0]) != 1 || sum.flows[0][0] != 0 {
+		t.Errorf("ident summary flows = %+v, want param 0 -> result 0", sum)
+	}
+
+	sum = pkg.Module.taintSummary(fnOf("viaReturnHelper"), plainflowRules)
+	if sum == nil || len(sum.resultTaint) != 1 || sum.resultTaint[0] != TaintPlaintext {
+		t.Errorf("viaReturnHelper summary = %+v, want inherent plaintext result", sum)
+	}
+
+	sum = pkg.Module.taintSummary(fnOf("sink"), plainflowRules)
+	if sum == nil || len(sum.paramSinks) != 1 || len(sum.paramSinks[0]) == 0 {
+		t.Fatalf("sink summary = %+v, want param 0 reaching a sink", sum)
+	}
+	if ps := sum.paramSinks[0][0]; ps.bad&TaintPlaintext == 0 || ps.what != "raw device write" {
+		t.Errorf("sink paramSink = %+v, want plaintext-bad raw device write", ps)
+	}
+}
+
+// TestTaintSinkViaSummary checks end-to-end that a tainted argument is
+// flagged at the call site of a helper whose body contains the sink — and
+// that sanitizing the argument clears it.
+func TestTaintSinkViaSummary(t *testing.T) {
+	pkg := loadTaintFixture(t)
+
+	f, fd := funcDeclNamed(t, pkg, "sinkHitFn")
+	eng := newTaintEngine(pkg, f, plainflowRules, true)
+	eng.run(fd.Body, nil)
+	hits := eng.checkSinks(fd.Body)
+	if len(hits) != 1 || hits[0].via != "sink" || hits[0].taint != TaintPlaintext {
+		t.Errorf("sinkHitFn hits = %+v, want one plaintext hit via sink", hits)
+	}
+
+	f, fd = funcDeclNamed(t, pkg, "sinkCleanFn")
+	eng = newTaintEngine(pkg, f, plainflowRules, true)
+	eng.run(fd.Body, nil)
+	if hits := eng.checkSinks(fd.Body); len(hits) != 0 {
+		t.Errorf("sinkCleanFn hits = %+v, want none (argument sealed)", hits)
+	}
+}
+
+// TestTaintCrossPackage builds a two-package throwaway module and asserts
+// taint crosses the package boundary through summaries: a helper package's
+// reader is the source, the root package's logger is the finding.
+func TestTaintCrossPackage(t *testing.T) {
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module ironsafe\n\ngo 1.21\n",
+		"internal/securestore/store.go": `package securestore
+
+type Store struct{}
+
+func (s *Store) ReadPage(id uint32) ([]byte, error) { return nil, nil }
+`,
+		"cmd/demo/main.go": `package main
+
+import (
+	"log"
+
+	"ironsafe/internal/securestore"
+)
+
+func main() {
+	var s securestore.Store
+	p, _ := s.ReadPage(1)
+	log.Printf("%x", p)
+}
+`,
+	}
+	for name, src := range files {
+		p := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pkgs, err := Load(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		fs, err := RunAnalyzers(pkg, []*Analyzer{Plainflow})
+		if err != nil {
+			t.Fatal(err)
+		}
+		findings = append(findings, fs...)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want exactly the cross-package log leak", findings)
+	}
+	if f := findings[0]; f.Analyzer != "plainflow" || filepath.Base(f.Pos.Filename) != "main.go" {
+		t.Errorf("finding = %v, want plainflow in main.go", findings[0])
+	}
+}

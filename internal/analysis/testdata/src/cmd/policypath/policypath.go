@@ -1,0 +1,79 @@
+// Package policypath is golden testdata: it lives under cmd/ so the
+// analyzer treats it as a query entry-point package.
+package policypath
+
+type Result struct{}
+
+type Host struct{}
+
+func (h *Host) ExecuteLocal(sql string) (*Result, error) { return nil, nil }
+
+type Monitor struct{}
+
+func (m *Monitor) Authorize(sql string) error { return nil }
+
+type Client struct{}
+
+func (c *Client) Call(method string, args ...string) error { return nil }
+
+// Direct violation: execution with no policy decision anywhere before it.
+func bad(h *Host) {
+	h.ExecuteLocal("SELECT 1") // want "without a prior policy decision"
+}
+
+// Dominated: the monitor decided first.
+func good(h *Host, m *Monitor) {
+	if err := m.Authorize("SELECT 1"); err != nil {
+		return
+	}
+	h.ExecuteLocal("SELECT 1")
+}
+
+// helper executes without its own check: flagged here, and — one call
+// deep — every undominated call to it is flagged too.
+func helper(h *Host) {
+	h.ExecuteLocal("SELECT 2") // want "without a prior policy decision"
+}
+
+func caller(h *Host) {
+	helper(h) // want "executes queries without a policy decision"
+}
+
+func callerAuthorized(h *Host, m *Monitor) {
+	if err := m.Authorize("SELECT 2"); err != nil {
+		return
+	}
+	helper(h)
+}
+
+// authorizeFirst wraps the policy decision; calling it dominates what
+// follows.
+func authorizeFirst(m *Monitor) error { return m.Authorize("q") }
+
+func callerViaHelper(h *Host, m *Monitor) {
+	if err := authorizeFirst(m); err != nil {
+		return
+	}
+	h.ExecuteLocal("SELECT 3")
+}
+
+// checkedExec authorizes internally, so callers owe nothing.
+func checkedExec(h *Host, m *Monitor) error {
+	if err := m.Authorize("q"); err != nil {
+		return err
+	}
+	_, err := h.ExecuteLocal("q")
+	return err
+}
+
+func callsChecked(h *Host, m *Monitor) {
+	checkedExec(h, m)
+}
+
+// Control-plane dispatch: Call("authorize", ...) reaches the monitor too.
+func viaCtl(c *Client, h *Host) {
+	if err := c.Call("authorize", "sql"); err != nil {
+		return
+	}
+	h.ExecuteLocal("SELECT 4")
+}

@@ -1,0 +1,21 @@
+// Package policypathallow seeds a policypath violation and suppresses it
+// with a reviewed directive; the test asserts no diagnostics survive — both
+// at the sink itself and, via the summary filter, at its callers.
+package policypathallow
+
+type Result struct{}
+
+type Host struct{}
+
+func (h *Host) ExecuteLocal(sql string) (*Result, error) { return nil, nil }
+
+func maintenance(h *Host) {
+	//ironsafe:allow policypath -- offline maintenance shell: runs against a scratch database before any client session exists
+	h.ExecuteLocal("VACUUM")
+}
+
+// Callers of a suppressed sink are clean too: the exception was reviewed at
+// the sink, not re-litigated at every call site.
+func runMaintenance(h *Host) {
+	maintenance(h)
+}

@@ -1,0 +1,98 @@
+// Package failopen is golden testdata for the fail-closed analyzer. Some
+// fixtures deliberately leave an assigned error unused — a real compile
+// error, but the tolerant checker records it and moves on, which is exactly
+// the shape the analyzer must catch in hand-reviewed diffs.
+package failopen
+
+import (
+	"errors"
+	"log"
+)
+
+func VerifyMAC(b []byte) error { return errors.New("bad mac") }
+
+func process() error { return nil }
+
+// Discarded: assigned, never read.
+func discarded(b []byte) {
+	err := VerifyMAC(b) // want "assigned but never checked"
+	_ = b
+}
+
+// Shadowed: overwritten before any read; the later return reads the NEW
+// value, not the verification result.
+func shadowed(b []byte) error {
+	err := VerifyMAC(b) // want "overwritten before being checked"
+	err = process()
+	return err
+}
+
+// Log-only: the failure branch just logs and falls through.
+func logOnly(b []byte) {
+	err := VerifyMAC(b) // want "without failing closed"
+	if err != nil {
+		log.Printf("mac check failed: %v", err)
+	}
+}
+
+// Success-only: the failure path does not even get a branch.
+func successOnly(b []byte) {
+	err := VerifyMAC(b) // want "without failing closed"
+	if err == nil {
+		log.Printf("mac ok")
+	}
+}
+
+// Handled: propagating the error fails closed.
+func handled(b []byte) error {
+	err := VerifyMAC(b)
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// Handled: terminating on failure fails closed.
+func fatals(b []byte) {
+	err := VerifyMAC(b)
+	if err != nil {
+		log.Fatalf("mac check failed: %v", err)
+	}
+}
+
+// Handled: wrapping counts as real handling, not logging.
+func wrapped(b []byte) error {
+	err := VerifyMAC(b)
+	if err != nil {
+		return errors.Join(errors.New("envelope"), err)
+	}
+	return nil
+}
+
+// Handled: a named error result plus bare return propagates it.
+func namedResult(b []byte) (err error) {
+	err = VerifyMAC(b)
+	return
+}
+
+// checkEnvelope returns VerifyMAC's error directly, so — one call deep —
+// its own callers inherit the fail-closed obligation.
+func checkEnvelope(b []byte) error {
+	if err := VerifyMAC(b); err != nil {
+		return err
+	}
+	return nil
+}
+
+func crossFunc(b []byte) {
+	err := checkEnvelope(b) // want "assigned but never checked"
+	_ = b
+}
+
+func crossFuncHandled(b []byte) error {
+	err := checkEnvelope(b)
+	if err != nil {
+		return err
+	}
+	return nil
+}

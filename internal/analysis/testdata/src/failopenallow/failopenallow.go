@@ -1,0 +1,18 @@
+// Package failopenallow seeds a failopen violation and suppresses it with a
+// reviewed directive; the test asserts no diagnostics survive.
+package failopenallow
+
+import (
+	"errors"
+	"log"
+)
+
+func VerifyChain(b []byte) error { return errors.New("broken chain") }
+
+func bestEffortAudit(b []byte) {
+	//ironsafe:allow failopen -- best-effort audit replay: a broken chain is reported to the operator and quarantined by the caller
+	err := VerifyChain(b)
+	if err != nil {
+		log.Printf("audit chain: %v", err)
+	}
+}

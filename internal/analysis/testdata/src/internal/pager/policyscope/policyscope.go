@@ -1,0 +1,14 @@
+// Package policyscope asserts the policypath analyzer's scoping: this
+// package lives under internal/pager — the mechanism BELOW the monitor —
+// so its naked execution call must produce no diagnostics.
+package policyscope
+
+type Result struct{}
+
+type Host struct{}
+
+func (h *Host) ExecuteLocal(sql string) (*Result, error) { return nil, nil }
+
+func internalReplay(h *Host) {
+	h.ExecuteLocal("SELECT 1")
+}

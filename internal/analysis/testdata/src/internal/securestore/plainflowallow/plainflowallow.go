@@ -1,0 +1,15 @@
+// Package plainflowallow seeds a plainflow violation and suppresses it with
+// a reviewed directive; the test asserts no diagnostics survive.
+package plainflowallow
+
+import "log"
+
+type Store struct{}
+
+func (s *Store) ReadPage(id uint32) ([]byte, error) { return make([]byte, 8), nil }
+
+func dumpPage(s *Store) {
+	p, _ := s.ReadPage(1)
+	//ironsafe:allow plainflow -- debugging harness prints a synthetic fixture page, never production data
+	log.Printf("page=%x", p)
+}

@@ -123,7 +123,7 @@ func (s *Session) Query(sql string) (*QueryResult, error) {
 		if err != nil && errors.Is(err, hostengine.ErrAllNodesFailed) && c.cfg.Mode == VanillaCS {
 			// Graceful degradation: the host mounts a surviving medium over
 			// the block-fetch path and runs the whole query locally.
-			fbRes, fbErr := c.hostFallbackExecute(auth.RewrittenSQL)
+			fbRes, fbErr := c.hostFallbackExecute(auth)
 			if fbErr != nil {
 				err = errors.Join(err, fbErr)
 			} else {
