@@ -7,7 +7,7 @@ GO ?= go
 # name explicitly. `make race` extends it to the whole module.
 RACE_PKGS = ./internal/monitor ./internal/engine ./internal/pager ./internal/simtime ./internal/securestore
 
-.PHONY: all build test race race-tier1 vet lint vet-json vet-bench chaos chaos-race crashsweep crashsweep-race rebuildsweep rebuildsweep-race benchjson benchsmoke check clean
+.PHONY: all build test race race-tier1 vet lint vet-json vet-bench chaos chaos-race crashsweep crashsweep-race rebuildsweep rebuildsweep-race graysweep graysweep-race benchjson benchsmoke check clean
 
 all: check
 
@@ -85,6 +85,17 @@ rebuildsweep:
 rebuildsweep-race:
 	$(GO) test -race -count=1 -run 'Rebuild|Epoch|Membership|Quiesce|Readmit' ./internal/chaos ./internal/securestore .
 
+# graysweep runs the gray-failure suite (see DESIGN.md, "Gray failures &
+# tail tolerance"): one node of a 3-node cluster browns out (slow, not
+# dead) and recovers — deadline budgets, latency soft-ejection, hedged
+# offloads, and overload backpressure must carry the run with zero hangs,
+# zero wrong results, and per-seed-deterministic digests.
+graysweep:
+	$(GO) test -count=1 -run 'Gray|Budget|Hedge|Latency|Eject|Overload|Queue|Pressure|Tail' ./internal/chaos ./internal/resilience ./internal/hostengine ./internal/ctl ./internal/monitor
+
+graysweep-race:
+	$(GO) test -race -count=1 -run 'Gray|Budget|Hedge|Latency|Eject|Overload|Queue|Pressure|Tail' ./internal/chaos ./internal/resilience ./internal/hostengine ./internal/ctl ./internal/monitor
+
 # benchjson regenerates the machine-readable benchmark record so the perf
 # trajectory (per-query times, scs breakdown, scan-pipeline counters) is
 # tracked across PRs.
@@ -98,7 +109,7 @@ benchsmoke:
 	$(GO) run ./cmd/ironsafe-bench -exp json -sf 0.002 -queries 1,6 -json /tmp/bench_smoke.json
 	$(GO) test -count=1 -run 'BatchedMatchesSequential|CollectResults' ./internal/bench
 
-check: build vet lint test race-tier1 chaos-race crashsweep-race rebuildsweep-race
+check: build vet lint test race-tier1 chaos-race crashsweep-race rebuildsweep-race graysweep-race
 
 clean:
 	$(GO) clean ./...

@@ -85,7 +85,9 @@ func (c *Cluster) RebuildStorage(id, donorID string) error {
 	defer donor.RevokeSessionKey(sid)
 	defer target.RevokeSessionKey(sid)
 
-	err := resilience.Retry(c.res, c.res.OffloadAttempts, func(int) error {
+	// Rebuild passes draw on their own deadline budget: a donor in gray
+	// failure must not drag the rebuild through unbounded full-pass retries.
+	err := resilience.RetryBudgeted(c.res, c.res.OffloadAttempts, c.res.NewQueryBudget(), func(int) error {
 		return c.rebuildPass(target, donor, id, donorID, sid, key)
 	})
 	if err != nil {
@@ -138,12 +140,12 @@ func rebuildPassDirect(target, donor *storageengine.Server) error {
 // sites "rebuild:<donor>" and "rebuild:<target>", distinct from query
 // channels, so sweeps can fault exactly one leg at exactly one operation.
 func (c *Cluster) rebuildPassChannel(target, donor *storageengine.Server, id, donorID, sid string, key []byte) error {
-	dn, err := c.dialNodeChannel(donor, storageengine.RebuildSessionPrefix+donorID, sid, key)
+	dn, err := c.dialNodeChannel(donor, storageengine.RebuildSessionPrefix+donorID, sid, key, nil)
 	if err != nil {
 		return err
 	}
 	defer dn.Close()
-	tn, err := c.dialNodeChannel(target, storageengine.RebuildSessionPrefix+id, sid, key)
+	tn, err := c.dialNodeChannel(target, storageengine.RebuildSessionPrefix+id, sid, key, nil)
 	if err != nil {
 		return err
 	}

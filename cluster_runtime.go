@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync"
+	"time"
 
 	"ironsafe/internal/engine"
 	"ironsafe/internal/hostengine"
@@ -46,6 +48,40 @@ func (c *Cluster) Epoch() uint64 {
 // Health exposes the cluster's per-node health tracker (circuit state, down
 // set) for operators and tests.
 func (c *Cluster) Health() *resilience.Tracker { return c.health }
+
+// SetBrownOut toggles brown-out mode: under overload the serving layer sheds
+// optional load first, and hedges are the first to go — every PlanHedge is
+// refused until the brown-out lifts. Primary attempts, retries, and
+// failovers are unaffected.
+func (c *Cluster) SetBrownOut(on bool) {
+	c.nodeMu.Lock()
+	c.brownout = on
+	c.nodeMu.Unlock()
+}
+
+// BrownedOut reports whether hedge shedding is active.
+func (c *Cluster) BrownedOut() bool {
+	c.nodeMu.Lock()
+	defer c.nodeMu.Unlock()
+	return c.brownout
+}
+
+// HedgeStats reports how many hedge slots were granted and how many hedge
+// requests were shed (no slot free, brown-out, or no healthy replica).
+func (c *Cluster) HedgeStats() (granted, shed int) {
+	c.nodeMu.Lock()
+	defer c.nodeMu.Unlock()
+	return c.hedgesGranted, c.hedgesShed
+}
+
+// tailTolerant reports whether the gray-failure machinery (latency EWMA,
+// soft-ejection, hedging) is active: explicitly enabled, or implied by an
+// injected virtual latency clock. When off, latency reports, candidate
+// reprioritization, and hedging are all no-ops, so clusters built by the
+// fail-stop chaos suites behave byte-for-byte as before.
+func (c *Cluster) tailTolerant() bool {
+	return c.res.TailTolerance || c.res.LatencyClock != nil
+}
 
 // NodeDown reports whether a storage node is currently failed/quarantined.
 func (c *Cluster) NodeDown(id string) bool {
@@ -188,16 +224,23 @@ func (c *Cluster) ReattestStorage(id string) error {
 
 // sessionProvider hands the host engine live storage nodes for one query,
 // with health gating and fresh channels per attempt. It implements
-// hostengine.NodeProvider.
+// hostengine.NodeProvider plus the optional budget, latency, and hedging
+// interfaces.
 type sessionProvider struct {
 	c          *Cluster
 	authorized []string // monitor-authorized node IDs, in proof order
 	sessionID  string
 	sessionKey []byte
 
+	// budget is the query's deadline budget; attached to every channel this
+	// provider dials so attempts, retries, and hedges all draw on one pool.
+	budget *resilience.Budget
+
 	// cached live channels, replaced on failure (an AEAD channel that saw
-	// a fault is desynchronized and must be rebuilt, not reused).
-	cached map[string]hostengine.StorageNode
+	// a fault is desynchronized and must be rebuilt, not reused). cacheMu
+	// guards the map: hedged races dial two legs concurrently.
+	cacheMu sync.Mutex
+	cached  map[string]hostengine.StorageNode
 }
 
 func (c *Cluster) newSessionProvider(authorized []string, sessionID string, sessionKey []byte) *sessionProvider {
@@ -206,12 +249,15 @@ func (c *Cluster) newSessionProvider(authorized []string, sessionID string, sess
 		authorized: authorized,
 		sessionID:  sessionID,
 		sessionKey: sessionKey,
+		budget:     c.res.NewQueryBudget(),
 		cached:     map[string]hostengine.StorageNode{},
 	}
 }
 
 // CandidateIDs implements hostengine.NodeProvider: the authorized nodes not
-// currently down, in the monitor's (deterministic) proof order.
+// currently down, in the monitor's (deterministic) proof order, with
+// latency-ejected nodes deprioritized to the tail (the tracker periodically
+// leaves one in place as a probe so recovery is observed).
 func (p *sessionProvider) CandidateIDs() []string {
 	out := make([]string, 0, len(p.authorized))
 	for _, id := range p.authorized {
@@ -219,7 +265,99 @@ func (p *sessionProvider) CandidateIDs() []string {
 			out = append(out, id)
 		}
 	}
-	return out
+	if !p.c.tailTolerant() {
+		return out
+	}
+	return p.c.health.Prioritize(out)
+}
+
+// QueryBudget implements hostengine.BudgetedProvider.
+func (p *sessionProvider) QueryBudget() *resilience.Budget { return p.budget }
+
+// NodeNow implements hostengine.LatencyObserver: the per-node clock offload
+// legs are timed on. With a LatencyClock configured (sweeps) it is fully
+// virtual and deterministic; otherwise it is real monotonic time.
+func (p *sessionProvider) NodeNow(id string) time.Duration {
+	if clock := p.c.res.LatencyClock; clock != nil {
+		return clock(id)
+	}
+	//ironsafe:allow wallclock -- real deployments measure offload latency on the monotonic clock; sweeps inject Resilience.LatencyClock instead
+	return time.Since(p.c.start)
+}
+
+// ReportLatency implements hostengine.LatencyObserver, feeding the health
+// tracker's EWMA and its cohort-median ejection logic. A no-op unless tail
+// tolerance is on: real-clock samples would make ejection state (and with it
+// candidate ordering) depend on the host machine's speed.
+func (p *sessionProvider) ReportLatency(id string, d time.Duration) {
+	if !p.c.tailTolerant() {
+		return
+	}
+	p.c.health.ReportLatency(id, d)
+}
+
+// PlanHedge implements hostengine.HedgingProvider. It grants a hedge when a
+// healthy alternate replica exists, the cluster is not browned out, and a
+// cluster-wide hedge slot is free. The trigger depends on the primary's
+// standing: an ejected primary is hedged immediately (delay 0 — we already
+// know it is slow), a merely suspect one only after its EWMA-derived
+// threshold elapses on a real timer. Under a virtual LatencyClock timers
+// cannot fire deterministically, so only the eject-triggered form is used.
+func (p *sessionProvider) PlanHedge(primary string, candidates []string) (string, time.Duration, bool) {
+	c := p.c
+	if !c.tailTolerant() {
+		return "", 0, false
+	}
+	if c.BrownedOut() {
+		c.noteHedge(false)
+		return "", 0, false
+	}
+	hedge := ""
+	for _, id := range candidates {
+		if !c.NodeDown(id) && !c.health.Ejected(id) {
+			hedge = id
+			break
+		}
+	}
+	if hedge == "" {
+		c.noteHedge(false)
+		return "", 0, false
+	}
+	var delay time.Duration
+	if !c.health.Ejected(primary) {
+		threshold := c.health.HedgeThreshold(primary)
+		if threshold == 0 || c.res.LatencyClock != nil {
+			return "", 0, false
+		}
+		delay = threshold
+	}
+	select {
+	case c.hedgeSem <- struct{}{}:
+	default:
+		c.noteHedge(false)
+		return "", 0, false
+	}
+	c.noteHedge(true)
+	return hedge, delay, true
+}
+
+// HedgeDone implements hostengine.HedgingProvider, releasing the slot.
+func (p *sessionProvider) HedgeDone() { <-p.c.hedgeSem }
+
+// JoinLoser implements hostengine.HedgingProvider: under a virtual latency
+// clock the race must drain both legs in-line and report them in fixed order,
+// or goroutine scheduling would leak into the EWMA state and the digest.
+func (p *sessionProvider) JoinLoser() bool { return p.c.res.LatencyClock != nil }
+
+// noteHedge counts hedge grants and sheds for HedgeStats.
+func (c *Cluster) noteHedge(granted bool) {
+	c.nodeMu.Lock()
+	if granted {
+		c.hedgesGranted++
+	} else {
+		c.hedgesShed++
+	}
+	c.nodeMu.Unlock()
 }
 
 // Connect implements hostengine.NodeProvider.
@@ -230,20 +368,25 @@ func (p *sessionProvider) Connect(id string) (hostengine.StorageNode, error) {
 	if !p.c.health.Allow(id) {
 		return nil, fmt.Errorf("%w: %s", resilience.ErrCircuitOpen, id)
 	}
-	if n, ok := p.cached[id]; ok {
+	p.cacheMu.Lock()
+	n, ok := p.cached[id]
+	p.cacheMu.Unlock()
+	if ok {
 		return n, nil
 	}
 	srv := p.c.storageByID(id)
 	if srv == nil {
 		return nil, fmt.Errorf("ironsafe: unknown storage node %q", id)
 	}
-	inner, err := p.c.connectNode(srv, id, p.sessionID, p.sessionKey)
+	inner, err := p.c.connectNode(srv, id, p.sessionID, p.sessionKey, p.budget)
 	if err != nil {
 		p.c.health.Report(id, false)
 		return nil, err
 	}
 	node := &fencedNode{StorageNode: inner, c: p.c}
+	p.cacheMu.Lock()
 	p.cached[id] = node
+	p.cacheMu.Unlock()
 	return node, nil
 }
 
@@ -283,17 +426,22 @@ func (f *fencedNode) Close() error {
 func (p *sessionProvider) Report(id string, ok bool) {
 	p.c.health.Report(id, ok)
 	if !ok {
-		if n, cached := p.cached[id]; cached {
+		p.cacheMu.Lock()
+		n, cached := p.cached[id]
+		delete(p.cached, id)
+		p.cacheMu.Unlock()
+		if cached {
 			if closer, isCloser := n.(interface{ Close() error }); isCloser {
 				closer.Close()
 			}
-			delete(p.cached, id)
 		}
 	}
 }
 
 // close tears down the provider's live channels at end of query.
 func (p *sessionProvider) close() {
+	p.cacheMu.Lock()
+	defer p.cacheMu.Unlock()
 	for id, n := range p.cached {
 		if closer, ok := n.(interface{ Close() error }); ok {
 			closer.Close()
@@ -305,20 +453,24 @@ func (p *sessionProvider) close() {
 // connectNode builds one StorageNode: a direct in-process adapter by
 // default, or — with ChannelTransport — a real monitor-keyed secure channel
 // over an in-process pipe speaking the full wire protocol, optionally
-// wrapped by the fault-injection hook.
-func (c *Cluster) connectNode(srv *storageengine.Server, id, sessionID string, sessionKey []byte) (hostengine.StorageNode, error) {
+// wrapped by the fault-injection hook. bud (may be nil) is the query's
+// deadline budget, attached to the channel so every offload clips its
+// deadline to the remaining budget.
+func (c *Cluster) connectNode(srv *storageengine.Server, id, sessionID string, sessionKey []byte, bud *resilience.Budget) (hostengine.StorageNode, error) {
 	if !c.cfg.ChannelTransport {
 		return &hostengine.LocalNode{Server: srv, HostMeter: c.HostMeter, StorageMeter: c.StorageMeter}, nil
 	}
-	return c.dialNodeChannel(srv, id, sessionID, sessionKey)
+	return c.dialNodeChannel(srv, id, sessionID, sessionKey, bud)
 }
 
 // dialNodeChannel handshakes a monitor-keyed secure channel to srv over an
 // in-process pipe speaking the full wire protocol, optionally wrapped by the
 // fault-injection hook. site is the name the fault hook sees — node id for
 // query channels, "rebuild:<id>" for rebuild control channels, so faults can
-// target one leg of a rebuild without touching queries.
-func (c *Cluster) dialNodeChannel(srv *storageengine.Server, site, sessionID string, sessionKey []byte) (*hostengine.RemoteNode, error) {
+// target one leg of a rebuild without touching queries. The handshake itself
+// draws on bud, so a query that has burned its budget on failovers cannot
+// keep paying full handshake timeouts against a stalled peer.
+func (c *Cluster) dialNodeChannel(srv *storageengine.Server, site, sessionID string, sessionKey []byte, bud *resilience.Budget) (*hostengine.RemoteNode, error) {
 	hostSide, storageSide := net.Pipe()
 	//ironsafe:allow policypath -- ServeConn only executes fragments arriving over the monitor-keyed channel; the session key it requires is minted by Authorize, so the policy decision dominates at runtime one hop upstream
 	go srv.ServeConn(storageSide)
@@ -327,7 +479,7 @@ func (c *Cluster) dialNodeChannel(srv *storageengine.Server, site, sessionID str
 		conn = c.cfg.ConnWrapper(site, hostSide)
 	}
 	var node *hostengine.RemoteNode
-	err := resilience.WithConnDeadline(conn, c.res.HandshakeTimeout, func() error {
+	err := resilience.WithBudgetedConnDeadline(conn, bud, c.res.HandshakeTimeout, func() error {
 		var err error
 		node, err = hostengine.NewRemoteNode(conn, site, sessionID, sessionKey, c.HostMeter)
 		return err
@@ -338,7 +490,9 @@ func (c *Cluster) dialNodeChannel(srv *storageengine.Server, site, sessionID str
 	}
 	if c.res.IOTimeout > 0 {
 		node.Conn.SetIOTimeout(c.res.IOTimeout)
+		node.SetBaseIOTimeout(c.res.IOTimeout)
 	}
+	node.SetBudget(bud)
 	return node, nil
 }
 

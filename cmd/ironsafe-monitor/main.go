@@ -221,6 +221,8 @@ func hardenCtlServer(s *ctl.Server) {
 		fmt.Fprintf(os.Stderr, "ironsafe-monitor: "+format+"\n", args...)
 	}
 	s.MaxConns = 128
+	s.MaxQueue = 32
+	s.RetryAfter = time.Second
 	s.HandshakeTimeout = 3 * time.Second
 	s.AcceptBackoff = 100 * time.Millisecond
 	s.Sleep = resilience.RealSleep

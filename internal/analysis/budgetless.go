@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// resiliencePkgPath is the import path budget-blind calls are matched
+// against.
+const resiliencePkgPath = "ironsafe/internal/resilience"
+
+// budgetlessFuncs maps each budget-blind resilience entry point to its
+// budget-aware replacement. Retry loops and armed connection deadlines on
+// the offload path must draw on the query's deadline budget, or a
+// gray-failing node can consume unbounded retry time that the budget
+// machinery never sees.
+var budgetlessFuncs = map[string]string{
+	"Retry":            "RetryBudgeted",
+	"WithConnDeadline": "WithBudgetedConnDeadline",
+}
+
+// budgetlessScopes are the module-relative subtrees where every retry or
+// deadline must be budget-aware: the cluster runtime (module root) and the
+// host engine's offload machinery. The resilience package itself, storage
+// services, and tooling are out of scope — they either implement the budget
+// primitives or run outside any query.
+var budgetlessScopes = []string{"internal/hostengine"}
+
+// Budgetless flags offload-path retry and connection-deadline sites that
+// ignore the query's deadline budget. ISSUE: a query's end-to-end deadline
+// is only enforceable if every attempt, failover, and handshake on its path
+// charges one budget; a naked resilience.Retry or WithConnDeadline re-opens
+// the unbounded-tail hole the budget closes. Sites that genuinely run
+// outside a query (bootstrap, background rebuild donors) carry an
+// //ironsafe:allow budgetless directive. Test files are exempt.
+var Budgetless = &Analyzer{
+	Name: "budgetless",
+	Doc:  "flag budget-blind resilience.Retry/WithConnDeadline calls on the cluster/hostengine offload path",
+	Run:  runBudgetless,
+}
+
+func runBudgetless(pass *Pass) error {
+	if pass.Path != "" && !pathInPrefixes(pass.Path, budgetlessScopes) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if fileIsTest(pass.Fset, f) {
+			continue
+		}
+		names := localNamesFor(f, resiliencePkgPath)
+		if len(names) == 0 {
+			continue
+		}
+		resNames := map[string]bool{}
+		for _, n := range names {
+			resNames[n] = true
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			budgeted, blind := budgetlessFuncs[sel.Sel.Name]
+			if !blind {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || !resNames[id.Name] || id.Obj != nil {
+				// A shadowing local declaration is not the package.
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"budget-blind resilience.%s on the offload path ignores the query's deadline budget; use resilience.%s, or annotate a genuinely query-free site with %s budgetless",
+				sel.Sel.Name, budgeted, DirectivePrefix)
+			return true
+		})
+	}
+	return nil
+}

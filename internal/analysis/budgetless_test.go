@@ -1,0 +1,23 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ironsafe/internal/analysis"
+	"ironsafe/internal/analysis/analysistest"
+)
+
+func TestBudgetlessOffloadPath(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Budgetless, "internal/hostengine/budgetless")
+}
+
+func TestBudgetlessAllowDirective(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Budgetless, "internal/hostengine/budgetlessallow")
+}
+
+// TestBudgetlessScopedToOffloadSubtree pins that packages outside the
+// cluster root and internal/hostengine are not in scope: services and
+// tooling have no query budget to draw on.
+func TestBudgetlessScopedToOffloadSubtree(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Budgetless, "budgetlessout")
+}

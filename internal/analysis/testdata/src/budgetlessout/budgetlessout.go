@@ -1,0 +1,10 @@
+// Package budgetlessout lives outside the cluster/hostengine subtree: the
+// budgetless analyzer must not fire here (storage services and tooling run
+// no query budget). Asserted by declaring no wants.
+package budgetlessout
+
+import "ironsafe/internal/resilience"
+
+func serviceRetry(cfg *resilience.Config) error {
+	return resilience.Retry(cfg, 3, func(int) error { return nil })
+}

@@ -1,0 +1,41 @@
+// Package budgetless seeds budget-blind retry and deadline sites on the
+// offload path — the unbounded-tail holes the budgetless analyzer outlaws.
+package budgetless
+
+import (
+	"net"
+
+	"ironsafe/internal/resilience"
+
+	res "ironsafe/internal/resilience"
+)
+
+func nakedRetry(cfg *resilience.Config) error {
+	return resilience.Retry(cfg, 3, func(int) error { return nil }) // want `budget-blind resilience\.Retry`
+}
+
+func nakedDeadline(conn net.Conn, cfg *resilience.Config) error {
+	return resilience.WithConnDeadline(conn, cfg.IOTimeout, func() error { return nil }) // want `budget-blind resilience\.WithConnDeadline`
+}
+
+func aliased(cfg *res.Config) error {
+	return res.Retry(cfg, 3, func(int) error { return nil }) // want `budget-blind resilience\.Retry`
+}
+
+func budgeted(conn net.Conn, cfg *resilience.Config, bud *resilience.Budget) error {
+	// The budget-aware forms are the sanctioned replacements.
+	if err := resilience.RetryBudgeted(cfg, 3, bud, func(int) error { return nil }); err != nil {
+		return err
+	}
+	return resilience.WithBudgetedConnDeadline(conn, bud, cfg.IOTimeout, func() error { return nil })
+}
+
+func shadowed() error {
+	// A local identifier shadowing the import is not the package.
+	resilience := fakePkg{}
+	return resilience.Retry(nil, 3, nil)
+}
+
+type fakePkg struct{}
+
+func (fakePkg) Retry(any, int, any) error { return nil }

@@ -1,0 +1,10 @@
+// Package budgetlessallow seeds budgetless violations that the allow
+// directive must suppress — the harness fails on any unexpected diagnostic,
+// so this file asserts suppression by declaring no wants.
+package budgetlessallow
+
+import "ironsafe/internal/resilience"
+
+func bootstrapRetry(cfg *resilience.Config) error {
+	return resilience.Retry(cfg, 3, func(int) error { return nil }) //ironsafe:allow budgetless -- bootstrap path, no query in flight
+}

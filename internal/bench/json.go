@@ -27,6 +27,24 @@ type Results struct {
 	// ScsScan holds the scan-pipeline counters per query under scs
 	// (storage-side, per-query deltas).
 	ScsScan map[string]ScanCounters `json:"scs_scan"`
+	// ScsTail maps query class (SQL shape) to its tail-latency summary under
+	// scs, as reported by the monitor's tail telemetry.
+	ScsTail map[string]TailClass `json:"scs_tail"`
+	// TailEjections / TailReadmissions count latency-outlier soft-ejection
+	// events observed during the scs run.
+	TailEjections    int `json:"tail_ejections"`
+	TailReadmissions int `json:"tail_readmissions"`
+}
+
+// TailClass is one query class's tail-latency record: exact nearest-rank
+// percentiles over the class's simulated latencies, plus hedging activity.
+type TailClass struct {
+	Queries   int     `json:"queries"`
+	P50Micros float64 `json:"p50_micros"`
+	P95Micros float64 `json:"p95_micros"`
+	P99Micros float64 `json:"p99_micros"`
+	Hedges    int     `json:"hedges"`
+	HedgeWins int     `json:"hedge_wins"`
 }
 
 // Breakdown is one query's Figure 8 cost split (fractions sum to 1).
@@ -70,6 +88,7 @@ func CollectResults(sf float64, queries []int) (*Results, error) {
 		GeomeanMicros: map[string]float64{},
 		ScsBreakdown:  map[string]Breakdown{},
 		ScsScan:       map[string]ScanCounters{},
+		ScsTail:       map[string]TailClass{},
 	}
 	for _, m := range jsonModes {
 		mode := m
@@ -113,6 +132,21 @@ func CollectResults(sf float64, queries []int) (*Results, error) {
 		res.TimesMicros[mode.String()] = times
 		if n > 0 {
 			res.GeomeanMicros[mode.String()] = math.Exp(logSum / float64(n))
+		}
+		if mode == ironsafe.IronSafe {
+			tail := c.Monitor.TailReportNow()
+			for _, tc := range tail.Classes {
+				res.ScsTail[tc.Class] = TailClass{
+					Queries:   tc.Queries,
+					P50Micros: float64(tc.P50) / float64(time.Microsecond),
+					P95Micros: float64(tc.P95) / float64(time.Microsecond),
+					P99Micros: float64(tc.P99) / float64(time.Microsecond),
+					Hedges:    tc.Hedges,
+					HedgeWins: tc.HedgeWins,
+				}
+			}
+			res.TailEjections = tail.Ejections
+			res.TailReadmissions = tail.Readmissions
 		}
 	}
 	return res, nil

@@ -95,6 +95,9 @@ type Outcome struct {
 	RowDigest string
 	Failovers int
 	Fallback  bool
+	// Hedges counts hedged offload races within the query (gray sweep only;
+	// the fail-stop digest predates the field and does not cover it).
+	Hedges int
 }
 
 // Report is the full run record.
@@ -161,6 +164,8 @@ func classify(err error) string {
 		return "circuit-open"
 	case errors.Is(err, resilience.ErrNodeDown):
 		return "node-down"
+	case errors.Is(err, resilience.ErrBudgetExhausted):
+		return "budget-exhausted"
 	case errors.Is(err, resilience.ErrExhausted):
 		return "exhausted"
 	case errors.Is(err, transport.ErrAuth):

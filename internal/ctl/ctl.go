@@ -6,9 +6,11 @@
 package ctl
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -19,6 +21,35 @@ import (
 
 // Handler serves one command.
 type Handler func(req []byte) (any, error)
+
+// ErrOverloaded reports that the control server refused the connection with
+// an overload response (typed admission control, not a silent close): the
+// client should back off for the advertised retry-after and try again.
+var ErrOverloaded = errors.New("ctl: server overloaded")
+
+// OverloadedError carries the server's advertised retry-after alongside
+// ErrOverloaded.
+type OverloadedError struct {
+	RetryAfter time.Duration
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("ctl: server overloaded, retry after %v", e.RetryAfter)
+}
+
+// Unwrap ties the typed response to ErrOverloaded.
+func (e *OverloadedError) Unwrap() error { return ErrOverloaded }
+
+// Admission banner: one plaintext byte the server sends on every accepted
+// connection BEFORE the secure handshake, so an overloaded server can refuse
+// cheaply — without spending a key exchange on a connection it is about to
+// drop — and the client still learns why it was refused (a silent close is
+// indistinguishable from a network fault and provokes immediate retries,
+// the exact wrong response to overload).
+const (
+	bannerProceed    = 0x00
+	bannerOverloaded = 0x01 // followed by a 4-byte LE retry-after in ms, then close
+)
 
 // Server dispatches control commands.
 type Server struct {
@@ -31,10 +62,32 @@ type Server struct {
 	// shed connections. Nil discards them.
 	Logf func(format string, args ...any)
 
-	// MaxConns bounds concurrently served connections; excess connections
-	// are closed immediately (load shedding) rather than queued without
-	// bound. Zero means unlimited.
+	// MaxConns bounds concurrently served connections. Excess connections
+	// enter the bounded admission queue (MaxQueue) when there is room, and
+	// are otherwise refused with a typed overload banner carrying a
+	// retry-after — never silently closed. Zero means unlimited.
 	MaxConns int
+
+	// MaxQueue bounds how many connections may wait for a serving slot when
+	// the server is at MaxConns. Zero disables queueing: saturation refuses
+	// immediately.
+	MaxQueue int
+
+	// QueueWait bounds how long a queued connection waits for a slot before
+	// it is refused with the overload banner. Zero means 1s; negative waits
+	// without bound (the client's own dial deadline still applies).
+	QueueWait time.Duration
+
+	// RetryAfter is the backoff the overload banner advertises to refused
+	// clients. Zero means 1s.
+	RetryAfter time.Duration
+
+	// Pressure, when set, is notified on overload-pressure transitions:
+	// true when the server saturates (every slot busy, or connections
+	// queued), false when the pressure drains. Binaries wire this to
+	// Cluster.SetBrownOut so optional load — hedged offloads first — sheds
+	// while the control plane is saturated.
+	Pressure func(on bool)
 
 	// HandshakeTimeout bounds the secure-transport handshake per accepted
 	// connection so a silent client cannot pin a serving goroutine forever.
@@ -50,6 +103,12 @@ type Server struct {
 
 	semOnce sync.Once
 	sem     chan struct{}
+
+	statMu   sync.Mutex
+	active   int
+	queued   int
+	shed     int
+	pressure bool
 }
 
 // NewServer creates a control server bound to the provisioning key.
@@ -70,17 +129,136 @@ func (s *Server) Handle(cmd string, h Handler) {
 	s.handlers[cmd] = h
 }
 
-// acquire reserves a connection slot, reporting false when the server is at
-// MaxConns and the connection should be shed.
-func (s *Server) acquire() bool {
+// Stats reports the admission state: connections being served, connections
+// waiting in the admission queue, and connections refused with the overload
+// banner since the server started.
+func (s *Server) Stats() (active, queued, shed int) {
+	s.statMu.Lock()
+	defer s.statMu.Unlock()
+	return s.active, s.queued, s.shed
+}
+
+// adjust applies one accounting delta under the stats lock and fires the
+// Pressure callback (outside the lock) on overload-pressure transitions.
+func (s *Server) adjust(dActive, dQueued, dShed int) {
+	s.statMu.Lock()
+	fire, on, cb := s.adjustLocked(dActive, dQueued, dShed)
+	s.statMu.Unlock()
+	if fire && cb != nil {
+		cb(on)
+	}
+}
+
+// adjustLocked applies the delta and recomputes overload pressure: any
+// connection queued, or every serving slot busy. Caller holds statMu.
+func (s *Server) adjustLocked(dActive, dQueued, dShed int) (fire, on bool, cb func(bool)) {
+	s.active += dActive
+	s.queued += dQueued
+	s.shed += dShed
+	on = s.queued > 0 || (s.MaxConns > 0 && s.active >= s.MaxConns)
+	fire = on != s.pressure
+	s.pressure = on
+	return fire, on, s.Pressure
+}
+
+// tryEnqueue atomically claims a queue slot if the bounded queue has room.
+func (s *Server) tryEnqueue() bool {
+	s.statMu.Lock()
+	if s.MaxQueue <= 0 || s.queued >= s.MaxQueue {
+		s.statMu.Unlock()
+		return false
+	}
+	fire, on, cb := s.adjustLocked(0, 1, 0)
+	s.statMu.Unlock()
+	if fire && cb != nil {
+		cb(on)
+	}
+	return true
+}
+
+func (s *Server) queueWait() time.Duration {
+	switch {
+	case s.QueueWait > 0:
+		return s.QueueWait
+	case s.QueueWait < 0:
+		return 0 // unbounded
+	default:
+		return time.Second
+	}
+}
+
+func (s *Server) retryAfter() time.Duration {
+	if s.RetryAfter > 0 {
+		return s.RetryAfter
+	}
+	return time.Second
+}
+
+// refuse sends the overload banner — 0x01 plus the 4-byte LE retry-after in
+// milliseconds — and closes the connection.
+func (s *Server) refuse(conn net.Conn) {
+	s.adjust(0, 0, 1)
+	s.logf("ctl: shedding connection from %v: at MaxConns=%d", conn.RemoteAddr(), s.MaxConns)
+	frame := make([]byte, 5)
+	frame[0] = bannerOverloaded
+	ms := s.retryAfter().Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	binary.LittleEndian.PutUint32(frame[1:], uint32(ms))
+	if s.HandshakeTimeout > 0 {
+		conn.SetDeadline(time.Now().Add(s.HandshakeTimeout)) //ironsafe:allow wallclock -- bounding the refusal write against a wedged peer
+	}
+	//ironsafe:allow rawnet -- plaintext pre-handshake overload banner, deadline-guarded by the SetDeadline above
+	conn.Write(frame)
+	conn.Close()
+}
+
+// proceed sends the admission banner and commits the slot accounting. On a
+// dead connection the reserved slot (if any) is returned.
+func (s *Server) proceed(conn net.Conn, slot bool) bool {
+	s.adjust(1, 0, 0)
+	//ironsafe:allow rawnet -- plaintext pre-handshake admission banner; the handshake deadline in handleConn bounds the connection right after
+	if _, err := conn.Write([]byte{bannerProceed}); err != nil {
+		s.adjust(-1, 0, 0)
+		if slot {
+			<-s.sem
+		}
+		conn.Close()
+		return false
+	}
+	return true
+}
+
+// admit runs admission control for one accepted connection: immediate slot,
+// bounded queue, or typed overload refusal. It reports whether the caller
+// owns a serving slot and must release it.
+func (s *Server) admit(conn net.Conn) bool {
 	if s.MaxConns <= 0 {
-		return true
+		return s.proceed(conn, false)
 	}
 	s.semOnce.Do(func() { s.sem = make(chan struct{}, s.MaxConns) })
 	select {
 	case s.sem <- struct{}{}:
-		return true
+		return s.proceed(conn, true)
 	default:
+	}
+	// At capacity: wait in the bounded queue if there is room.
+	if !s.tryEnqueue() {
+		s.refuse(conn)
+		return false
+	}
+	var expired <-chan time.Time
+	if wait := s.queueWait(); wait > 0 {
+		expired = time.After(wait) //ironsafe:allow wallclock -- genuinely real-time bound on how long a queued control connection may wait
+	}
+	select {
+	case s.sem <- struct{}{}:
+		s.adjust(0, -1, 0)
+		return s.proceed(conn, true)
+	case <-expired:
+		s.adjust(0, -1, 0)
+		s.refuse(conn)
 		return false
 	}
 }
@@ -89,10 +267,14 @@ func (s *Server) release() {
 	if s.MaxConns > 0 {
 		<-s.sem
 	}
+	s.adjust(-1, 0, 0)
 }
 
 // Serve accepts control connections until the listener closes. Transient
 // accept errors back off and retry; only a dead listener ends the loop.
+// Each connection passes admission control first: a serving slot when free,
+// the bounded queue when saturated, and a typed overload refusal (banner +
+// retry-after) when the queue is full or the wait expires.
 func (s *Server) Serve(ln net.Listener) error {
 	for {
 		conn, err := ln.Accept()
@@ -106,12 +288,10 @@ func (s *Server) Serve(ln net.Listener) error {
 			}
 			return err
 		}
-		if !s.acquire() {
-			s.logf("ctl: shedding connection from %v: at MaxConns=%d", conn.RemoteAddr(), s.MaxConns)
-			conn.Close()
-			continue
-		}
 		go func() {
+			if !s.admit(conn) {
+				return
+			}
 			defer s.release()
 			s.handleConn(conn)
 		}()
@@ -190,7 +370,11 @@ func Dial(addr string, psk []byte) (*Client, error) {
 }
 
 // DialResilient connects a control client with retrying, deadline-bounded
-// dial and handshake per the supplied resilience config.
+// dial and handshake per the supplied resilience config. The server's
+// admission banner is read first: an overload refusal surfaces as a typed
+// *OverloadedError (errors.Is ErrOverloaded) carrying the advertised
+// retry-after, so callers can back off instead of hammering a saturated
+// control plane.
 func DialResilient(addr string, psk []byte, cfg resilience.Config) (*Client, error) {
 	conn, err := resilience.DialTCP(addr, cfg)
 	if err != nil {
@@ -198,18 +382,47 @@ func DialResilient(addr string, psk []byte, cfg resilience.Config) (*Client, err
 	}
 	var sc *transport.SecureConn
 	hsErr := resilience.WithConnDeadline(conn, cfg.HandshakeTimeout, func() error {
+		if err := readBanner(conn); err != nil {
+			return err
+		}
 		var err error
 		sc, err = transport.Client(conn, psk, nil)
 		return err
 	})
 	if hsErr != nil {
 		conn.Close()
+		if errors.Is(hsErr, ErrOverloaded) {
+			return nil, hsErr
+		}
 		return nil, fmt.Errorf("ctl: handshake with %s: %w", addr, hsErr)
 	}
 	if cfg.IOTimeout > 0 {
 		sc.SetIOTimeout(cfg.IOTimeout)
 	}
 	return &Client{sc: sc}, nil
+}
+
+// readBanner consumes the server's plaintext admission banner. A proceed
+// byte returns nil; an overload byte returns the typed refusal with its
+// retry-after payload.
+func readBanner(conn net.Conn) error {
+	var b [1]byte
+	if _, err := io.ReadFull(conn, b[:]); err != nil {
+		return fmt.Errorf("ctl: reading admission banner: %w", err)
+	}
+	switch b[0] {
+	case bannerProceed:
+		return nil
+	case bannerOverloaded:
+		retry := time.Second
+		var ra [4]byte
+		if _, err := io.ReadFull(conn, ra[:]); err == nil {
+			retry = time.Duration(binary.LittleEndian.Uint32(ra[:])) * time.Millisecond
+		}
+		return &OverloadedError{RetryAfter: retry}
+	default:
+		return fmt.Errorf("ctl: unexpected admission banner 0x%02x", b[0])
+	}
 }
 
 // NewClient wraps an already-established secure channel (used by tests and

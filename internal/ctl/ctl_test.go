@@ -5,11 +5,21 @@ import (
 	"net"
 	"sync"
 	"testing"
+	"time"
 )
 
 func startServer(t *testing.T, psk []byte) (string, *Server) {
+	return startServerWith(t, psk, nil)
+}
+
+// startServerWith configures the server BEFORE the accept loop starts, so
+// admission knobs are never mutated under a running Serve.
+func startServerWith(t *testing.T, psk []byte, configure func(*Server)) (string, *Server) {
 	t.Helper()
 	srv := NewServer(psk)
+	if configure != nil {
+		configure(srv)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -109,6 +119,144 @@ func TestConcurrentClients(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+func TestOverloadRefusalIsTyped(t *testing.T) {
+	addr, srv := startServerWith(t, []byte("psk"), func(s *Server) {
+		s.MaxConns = 1
+		s.RetryAfter = 250 * time.Millisecond
+	})
+	srv.Handle("ping", func([]byte) (any, error) { return 1, nil })
+
+	hold, err := Dial(addr, []byte("psk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold.Close()
+
+	// No queue configured: saturation refuses immediately, with the typed
+	// banner instead of a silent close.
+	_, err = Dial(addr, []byte("psk"))
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	var oe *OverloadedError
+	if !errors.As(err, &oe) || oe.RetryAfter != 250*time.Millisecond {
+		t.Fatalf("err = %v, want advertised 250ms retry-after", err)
+	}
+	if _, _, shed := srv.Stats(); shed != 1 {
+		t.Errorf("shed = %d, want 1", shed)
+	}
+	// The held connection still serves.
+	var n int
+	if err := hold.Call("ping", nil, &n); err != nil || n != 1 {
+		t.Errorf("held connection broken: %v", err)
+	}
+}
+
+func TestQueueAdmitsWhenSlotFrees(t *testing.T) {
+	addr, srv := startServerWith(t, []byte("psk"), func(s *Server) {
+		s.MaxConns = 1
+		s.MaxQueue = 1
+		s.QueueWait = 5 * time.Second
+	})
+	srv.Handle("ping", func([]byte) (any, error) { return 1, nil })
+
+	hold, err := Dial(addr, []byte("psk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type dialOut struct {
+		c   *Client
+		err error
+	}
+	ch := make(chan dialOut, 1)
+	go func() {
+		c, err := Dial(addr, []byte("psk"))
+		ch <- dialOut{c, err}
+	}()
+	// Wait until the second connection is actually queued, then free the slot.
+	waitFor(t, func() bool { _, q, _ := srv.Stats(); return q == 1 })
+
+	// A third connection finds the queue full and is refused.
+	if _, err := Dial(addr, []byte("psk")); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("queue-full dial: err = %v, want ErrOverloaded", err)
+	}
+
+	hold.Close()
+	out := <-ch
+	if out.err != nil {
+		t.Fatalf("queued dial should be admitted once the slot frees: %v", out.err)
+	}
+	defer out.c.Close()
+	var n int
+	if err := out.c.Call("ping", nil, &n); err != nil || n != 1 {
+		t.Errorf("admitted-from-queue connection broken: %v", err)
+	}
+}
+
+func TestQueueWaitExpiryRefusesTyped(t *testing.T) {
+	addr, srv := startServerWith(t, []byte("psk"), func(s *Server) {
+		s.MaxConns = 1
+		s.MaxQueue = 1
+		s.QueueWait = 30 * time.Millisecond
+	})
+
+	hold, err := Dial(addr, []byte("psk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold.Close()
+	if _, err := Dial(addr, []byte("psk")); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("expired queue wait: err = %v, want ErrOverloaded", err)
+	}
+	if _, q, shed := srv.Stats(); q != 0 || shed != 1 {
+		t.Errorf("stats after expiry: queued=%d shed=%d, want 0, 1", q, shed)
+	}
+}
+
+func TestPressureTransitions(t *testing.T) {
+	var mu sync.Mutex
+	var transitions []bool
+	addr, _ := startServerWith(t, []byte("psk"), func(s *Server) {
+		s.MaxConns = 1
+		s.Pressure = func(on bool) {
+			mu.Lock()
+			transitions = append(transitions, on)
+			mu.Unlock()
+		}
+	})
+
+	c, err := Dial(addr, []byte("psk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One connection saturates MaxConns=1: pressure on.
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(transitions) == 1 && transitions[0]
+	})
+	c.Close()
+	// Slot drains: pressure off.
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(transitions) == 2 && !transitions[1]
+	})
+}
+
+// waitFor polls cond until it holds or the watchdog expires.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within watchdog")
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 func contains(s, sub string) bool {

@@ -144,6 +144,16 @@ type Plan struct {
 	// fails). Zero disables the delay while still counting the fault.
 	SlowDelay time.Duration
 
+	// OpCost and StallPenalty price operations on the plan's virtual
+	// clocks: every decided operation advances its site's clock by OpCost,
+	// a Slow fault additionally advances it by SlowDelay, and a Stall by
+	// StallPenalty (standing in for the victim's armed deadline). The
+	// clocks give the gray-failure sweep a deterministic latency source —
+	// NodeVirtualNow moves exactly with the seeded fault schedule, never
+	// with the host machine's speed.
+	OpCost       time.Duration
+	StallPenalty time.Duration
+
 	// OnCrash, when set, is invoked (once per Crash fault, outside plan
 	// locks) with the site's node name — the chaos harness wires this to
 	// Cluster.KillStorage.
@@ -160,16 +170,19 @@ type stream struct {
 	rng       uint64
 	ops       int
 	ruleCount map[int]int
+	vnanos    int64 // virtual clock: operation costs + fault penalties
 }
 
 // NewPlan creates a plan from a seed and rules.
 func NewPlan(seed uint64, rules ...Rule) *Plan {
 	return &Plan{
-		seed:      seed,
-		rules:     rules,
-		SlowDelay: 2 * time.Millisecond,
-		streams:   map[string]*stream{},
-		counts:    map[Class]int{},
+		seed:         seed,
+		rules:        rules,
+		SlowDelay:    2 * time.Millisecond,
+		OpCost:       100 * time.Microsecond,
+		StallPenalty: 20 * time.Millisecond,
+		streams:      map[string]*stream{},
+		counts:       map[Class]int{},
 	}
 }
 
@@ -219,6 +232,7 @@ func (p *Plan) Decide(site string) Fault {
 	s := p.stream(site)
 	op := s.ops
 	s.ops++
+	s.vnanos += int64(p.OpCost)
 	u, bits := s.next()
 	for i, r := range p.rules {
 		if r.Class == None || r.Prob <= 0 {
@@ -242,9 +256,32 @@ func (p *Plan) Decide(site string) Fault {
 		s.ruleCount[i]++
 		p.counts[r.Class]++
 		p.log = append(p.log, fmt.Sprintf("%s@%s#%d", r.Class, site, op))
+		switch r.Class {
+		case Slow:
+			s.vnanos += int64(p.SlowDelay)
+		case Stall:
+			s.vnanos += int64(p.StallPenalty)
+		}
 		return Fault{Class: r.Class, Site: site, Bit: int(bits>>16) & 0x7fffffff}
 	}
 	return Fault{Class: None, Site: site}
+}
+
+// NodeVirtualNow reads node's virtual clock: the summed operation costs and
+// fault penalties of every site stream mentioning node (its read and write
+// legs). The clock advances exactly with the seeded fault schedule, so
+// latencies measured on it — and every ejection/hedging decision derived
+// from them — are byte-identical per seed. Monotone non-decreasing per node.
+func (p *Plan) NodeVirtualNow(node string) time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var sum int64
+	for site, s := range p.streams {
+		if strings.Contains(site, node) {
+			sum += s.vnanos
+		}
+	}
+	return time.Duration(sum)
 }
 
 // OpsAt reports how many operations site has decided so far — the chaos

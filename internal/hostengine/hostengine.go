@@ -10,9 +10,11 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"ironsafe/internal/engine"
 	"ironsafe/internal/partition"
+	"ironsafe/internal/resilience"
 	"ironsafe/internal/simtime"
 	"ironsafe/internal/sql/exec"
 	"ironsafe/internal/sql/parser"
@@ -111,6 +113,13 @@ type SplitOutcome struct {
 	// Failovers counts offload attempts that failed and were re-routed to
 	// another node (provider-based execution only).
 	Failovers int
+	// Hedges counts offload attempts that were raced against a second
+	// replica; HedgeWins counts races the hedge leg won.
+	Hedges    int
+	HedgeWins int
+	// BudgetExhausted is set when the query's deadline budget ran dry
+	// mid-execution (the returned error wraps resilience.ErrBudgetExhausted).
+	BudgetExhausted bool
 }
 
 // ExecuteSplit partitions sql, offloads the per-table fragments across
@@ -168,11 +177,65 @@ type NodeProvider interface {
 // ErrAllNodesFailed reports that every candidate node failed an offload.
 var ErrAllNodesFailed = errors.New("hostengine: offload failed on all storage nodes")
 
+// BudgetedProvider optionally supplies a per-query deadline budget: each
+// offload attempt (including hedge legs) charges it, and execution fails
+// typed — wrapping resilience.ErrBudgetExhausted — the moment it runs dry,
+// so a gray-failing node cannot drag a query through unbounded failovers.
+type BudgetedProvider interface {
+	QueryBudget() *resilience.Budget
+}
+
+// LatencyObserver optionally receives per-leg offload latencies for the
+// gray-failure estimator. NodeNow supplies the per-node clock the latency is
+// measured on (real monotonic in production, the fault plan's virtual clock
+// in the chaos suite) so the executor itself never reads time.
+type LatencyObserver interface {
+	NodeNow(id string) time.Duration
+	ReportLatency(id string, d time.Duration)
+}
+
+// HedgingProvider optionally plans hedged offloads: racing a slow fragment
+// on a second replica and taking the first epoch-valid reply.
+type HedgingProvider interface {
+	// PlanHedge decides whether the attempt on primary should be raced
+	// against a replica drawn from candidates. It returns the hedge node, a
+	// delay before the hedge leg launches (0 = race immediately — the
+	// deterministic pre-hedge used when primary is already marked slow;
+	// >0 = launch only if primary is still outstanding after delay), and
+	// whether a hedge slot was granted. Implementations enforce the
+	// cluster-wide concurrency cap and brown-out shedding here.
+	PlanHedge(primary string, candidates []string) (hedge string, delay time.Duration, ok bool)
+	// HedgeDone releases the slot granted by PlanHedge. Called exactly once
+	// per granted hedge, after both legs resolved or the loser was handed
+	// to a background drain.
+	HedgeDone()
+	// JoinLoser reports whether the race must wait for the losing leg
+	// instead of abandoning it in the background. Joining keeps outcome
+	// counters and health reports deterministic (the chaos-sweep mode);
+	// production abandons the loser for latency.
+	JoinLoser() bool
+}
+
+// legResult is one leg of a (possibly hedged) offload attempt.
+type legResult struct {
+	id        string
+	res       *exec.Result
+	wire      int64
+	err       error
+	lat       time.Duration
+	connected bool // Connect succeeded, so the outcome is reportable
+}
+
 // ExecuteSplitProvider is ExecuteSplit with per-ship node failover: each
 // shipped fragment is offloaded to its round-robin node, and on failure is
 // re-offloaded to the next surviving candidate over a fresh channel. Only
 // when every candidate fails does the query fail — with a typed error, never
 // a hang.
+//
+// Providers may additionally implement BudgetedProvider (per-query deadline
+// budget), LatencyObserver (EWMA latency feed), and HedgingProvider (race a
+// slow fragment on a second replica, first epoch-valid reply wins). All
+// three are optional; a plain NodeProvider gets the PR-2 behavior.
 func (h *Host) ExecuteSplitProvider(sqlText string, prov NodeProvider) (*exec.Result, *SplitOutcome, error) {
 	sel, err := parser.ParseSelect(sqlText)
 	if err != nil {
@@ -182,6 +245,13 @@ func (h *Host) ExecuteSplitProvider(sqlText string, prov NodeProvider) (*exec.Re
 	if err != nil {
 		return nil, nil, err
 	}
+	var bud *resilience.Budget
+	if bp, ok := prov.(BudgetedProvider); ok {
+		bud = bp.QueryBudget()
+	}
+	lat, _ := prov.(LatencyObserver)
+	hedger, _ := prov.(HedgingProvider)
+
 	outcome := &SplitOutcome{Split: split}
 	cat := shippedCatalog{}
 	for i, ship := range split.Ships {
@@ -195,23 +265,46 @@ func (h *Host) ExecuteSplitProvider(sqlText string, prov NodeProvider) (*exec.Re
 		done := false
 		for j := 0; j < len(ids) && !done; j++ {
 			id := ids[(i+j)%len(ids)]
-			node, err := prov.Connect(id)
-			if err != nil {
-				lastErr = fmt.Errorf("connect %s: %w", id, err)
+			if !bud.SpendAttempt() {
+				outcome.BudgetExhausted = true
+				return nil, outcome, fmt.Errorf("hostengine: ship %q: %w", ship.Table, resilience.ErrBudgetExhausted)
+			}
+			var hedgeID string
+			var hedgeDelay time.Duration
+			doHedge := false
+			if hedger != nil && len(ids) > 1 {
+				rest := make([]string, 0, len(ids)-1)
+				for k := 1; k < len(ids); k++ {
+					rest = append(rest, ids[(i+j+k)%len(ids)])
+				}
+				hedgeID, hedgeDelay, doHedge = hedger.PlanHedge(id, rest)
+			}
+			var win legResult
+			if doHedge {
+				var hedged bool
+				win, hedged = h.raceOffload(prov, lat, hedger, bud, ship.SQL, id, hedgeID, hedgeDelay)
+				if hedged {
+					outcome.Hedges++
+					if win.err == nil && win.id == hedgeID {
+						outcome.HedgeWins++
+					}
+				}
+			} else {
+				win = h.offloadLeg(prov, lat, ship.SQL, id)
+				reportLeg(prov, lat, win)
+			}
+			if win.err != nil {
+				lastErr = win.err
 				outcome.Failovers++
 				continue
 			}
-			res, wire, err = node.Offload(ship.SQL)
-			if err != nil {
-				prov.Report(id, false)
-				lastErr = fmt.Errorf("offload to %s: %w", id, err)
-				outcome.Failovers++
-				continue
-			}
-			prov.Report(id, true)
+			res, wire = win.res, win.wire
 			done = true
 		}
 		if !done {
+			if errors.Is(lastErr, resilience.ErrBudgetExhausted) {
+				outcome.BudgetExhausted = true
+			}
 			return nil, outcome, fmt.Errorf("%w: %q: %w", ErrAllNodesFailed, ship.Table, lastErr)
 		}
 		h.absorbShipped(cat, outcome, ship.Table, res, wire)
@@ -221,6 +314,130 @@ func (h *Host) ExecuteSplitProvider(sqlText string, prov NodeProvider) (*exec.Re
 		return nil, outcome, err
 	}
 	return res, outcome, nil
+}
+
+// offloadLeg runs one offload attempt against id, measuring its latency on
+// the observer's per-node clock.
+func (h *Host) offloadLeg(prov NodeProvider, lat LatencyObserver, sql, id string) legResult {
+	var start time.Duration
+	if lat != nil {
+		start = lat.NodeNow(id)
+	}
+	node, err := prov.Connect(id)
+	if err != nil {
+		return legResult{id: id, err: fmt.Errorf("connect %s: %w", id, err)}
+	}
+	res, wire, err := node.Offload(sql)
+	leg := legResult{id: id, res: res, wire: wire, err: err, connected: true}
+	if err != nil {
+		leg.err = fmt.Errorf("offload to %s: %w", id, err)
+	}
+	if lat != nil {
+		leg.lat = lat.NodeNow(id) - start
+	}
+	return leg
+}
+
+// reportLeg feeds one completed leg back into health tracking: the breaker
+// outcome and, when the leg got far enough to measure, its latency.
+func reportLeg(prov NodeProvider, lat LatencyObserver, leg legResult) {
+	if !leg.connected {
+		return
+	}
+	prov.Report(leg.id, leg.err == nil)
+	if lat != nil && leg.lat >= 0 {
+		lat.ReportLatency(leg.id, leg.lat)
+	}
+}
+
+// raceOffload races the fragment on primary against a hedge replica. The
+// first successful (epoch-valid — fencing happens inside the provider's node
+// wrapper, so a stale reply surfaces as an error and can never win) leg's
+// result is returned. The hedge leg launches after delay, or immediately
+// when delay is zero; if primary resolves first the hedge is never launched.
+// The hedge leg charges the budget only when it actually launches. In
+// JoinLoser mode both legs are awaited and reported in fixed primary-then-
+// hedge order (deterministic health state); otherwise the loser is drained
+// in the background. Returns the winning (or least-bad) leg and whether the
+// hedge leg actually launched.
+func (h *Host) raceOffload(prov NodeProvider, lat LatencyObserver, hedger HedgingProvider, bud *resilience.Budget, sql, primary, hedge string, delay time.Duration) (legResult, bool) {
+	ch := make(chan legResult, 2)
+	go func() { ch <- h.offloadLeg(prov, lat, sql, primary) }()
+
+	hedgeLaunched := false
+	launchHedge := func() {
+		if !bud.SpendAttempt() {
+			return // budget dry: the race degrades to a plain attempt
+		}
+		hedgeLaunched = true
+		go func() { ch <- h.offloadLeg(prov, lat, sql, hedge) }()
+	}
+	var timer <-chan time.Time
+	if delay <= 0 {
+		launchHedge()
+	} else {
+		timer = time.After(delay) //ironsafe:allow wallclock -- genuinely real-time hedge trigger; latency accounting stays on the observer's clock
+	}
+
+	pending := 1
+	if hedgeLaunched {
+		pending = 2
+	}
+	var legs []legResult
+	var winner legResult
+	haveWinner := false
+	for pending > 0 {
+		select {
+		case leg := <-ch:
+			pending--
+			legs = append(legs, leg)
+			if leg.err == nil && !haveWinner {
+				winner, haveWinner = leg, true
+			}
+			if timer != nil {
+				// Primary resolved before the hedge trigger: on success the
+				// hedge is moot; on failure the outer failover loop handles
+				// the next candidate without burning a hedge slot.
+				timer = nil
+			}
+			if haveWinner && pending > 0 && !hedger.JoinLoser() {
+				// Abandon the loser: drain and report it off the query path,
+				// releasing the hedge slot when it lands.
+				go func() {
+					reportLeg(prov, lat, <-ch)
+					hedger.HedgeDone()
+				}()
+				for _, l := range legs {
+					reportLeg(prov, lat, l)
+				}
+				return winner, hedgeLaunched
+			}
+		case <-timer:
+			timer = nil
+			launchHedge()
+			if hedgeLaunched {
+				pending++
+			}
+		}
+	}
+	// Both legs (or the only leg) resolved. Order primary-then-hedge, report
+	// deterministically, and prefer the primary's success when both legs
+	// succeeded — between two valid replies, "which landed first" is a
+	// scheduling artifact the joined mode must not leak into outcomes.
+	if len(legs) == 2 && legs[0].id != primary {
+		legs[0], legs[1] = legs[1], legs[0]
+	}
+	for _, l := range legs {
+		reportLeg(prov, lat, l)
+	}
+	hedger.HedgeDone()
+	for i := range legs {
+		if legs[i].err == nil {
+			return legs[i], hedgeLaunched
+		}
+	}
+	// Every leg failed: surface the primary's error for the failover loop.
+	return legs[0], hedgeLaunched
 }
 
 // absorbShipped registers one offload result in the shipped catalog with

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"time"
 
 	"ironsafe/internal/pager"
 	"ironsafe/internal/resilience"
@@ -75,7 +76,19 @@ type RemoteNode struct {
 	Conn *transport.SecureConn
 
 	lastEpoch uint64 // membership epoch stamped on the most recent reply
+
+	// budget, when set, gates every offload: an exhausted budget refuses
+	// the attempt locally, the remaining allowance rides the offload frame
+	// so the storage node can enforce it at admission, and each attempt's
+	// channel deadline is clipped to min(baseIOTimeout, remaining) so a
+	// stalled fragment can never consume more real time than the query has
+	// left.
+	budget        *resilience.Budget
+	baseIOTimeout time.Duration
 }
+
+// SetBudget attaches the per-query deadline budget enforced on this channel.
+func (n *RemoteNode) SetBudget(b *resilience.Budget) { n.budget = b }
 
 // NewRemoteNode runs the session preamble and monitor-keyed handshake over
 // an already-established conn (TCP, an in-process pipe, or a fault-injecting
@@ -116,6 +129,7 @@ func DialStorageResilient(addr, nodeID, sessionID string, sessionKey []byte, met
 		return nil, err
 	}
 	var node *RemoteNode
+	//ironsafe:allow budgetless -- session-establishment dial for standalone services, no query in flight; per-query offload dials run through WithBudgetedConnDeadline in the cluster runtime
 	hsErr := resilience.WithConnDeadline(conn, cfg.HandshakeTimeout, func() error {
 		var err error
 		node, err = NewRemoteNode(conn, nodeID, sessionID, sessionKey, meter)
@@ -126,21 +140,54 @@ func DialStorageResilient(addr, nodeID, sessionID string, sessionKey []byte, met
 	}
 	if cfg.IOTimeout > 0 {
 		node.Conn.SetIOTimeout(cfg.IOTimeout)
+		node.baseIOTimeout = cfg.IOTimeout
 	}
 	return node, nil
 }
 
+// SetBaseIOTimeout records the per-message deadline the budget clipping
+// starts from (callers that arm SetIOTimeout directly should mirror it here).
+func (n *RemoteNode) SetBaseIOTimeout(d time.Duration) { n.baseIOTimeout = d }
+
 // NodeID implements StorageNode.
 func (n *RemoteNode) NodeID() string { return n.ID }
 
-// Offload implements StorageNode.
+// unbudgetedMicros is the budget-prefix value meaning "no deadline budget"
+// (a prefix of 0 means exhausted and is refused by the storage node).
+const unbudgetedMicros = ^uint64(0)
+
+// Offload implements StorageNode. The offload frame leads with an 8-byte
+// little-endian remaining-budget prefix (µs) the storage node enforces at
+// admission; a budgeted attempt also clips the channel deadline to the
+// remaining slice.
 func (n *RemoteNode) Offload(sql string) (*exec.Result, int64, error) {
-	if err := n.Conn.Send("offload", []byte(sql)); err != nil {
+	budgetMicros := unbudgetedMicros
+	if n.budget != nil {
+		if n.budget.Exhausted() {
+			return nil, 0, fmt.Errorf("hostengine: offload to %s refused: %w", n.ID, resilience.ErrBudgetExhausted)
+		}
+		rem := n.budget.Remaining()
+		if us := uint64(rem / time.Microsecond); us > 0 && us < unbudgetedMicros {
+			budgetMicros = us
+		} else {
+			budgetMicros = 1 // sub-µs remainder: declare the smallest live budget
+		}
+		if slice := n.budget.Slice(n.baseIOTimeout); slice > 0 {
+			n.Conn.SetIOTimeout(slice)
+			defer n.Conn.SetIOTimeout(n.baseIOTimeout)
+		}
+	}
+	frame := make([]byte, 8, 8+len(sql))
+	binary.LittleEndian.PutUint64(frame, budgetMicros)
+	if err := n.Conn.Send("offload", append(frame, sql...)); err != nil {
 		return nil, 0, err
 	}
 	typ, payload, err := n.Conn.Recv()
 	if err != nil {
 		return nil, 0, err
+	}
+	if typ == "budget" {
+		return nil, 0, fmt.Errorf("hostengine: offload to %s refused by storage: %w", n.ID, resilience.ErrBudgetExhausted)
 	}
 	if typ == "error" {
 		return nil, 0, errors.New("hostengine: storage error: " + string(payload))

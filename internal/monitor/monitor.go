@@ -90,6 +90,9 @@ type Monitor struct {
 	sessions    map[string]*Session
 	seq         uint64
 	scanStats   map[string]ScanTelemetry // node -> latest scan-pipeline report
+
+	tailStats                       map[string]*tailClass // query class -> tail accumulator
+	tailEjections, tailReadmissions int                   // latest soft-ejection counters
 }
 
 // Session is an active authorized query session.

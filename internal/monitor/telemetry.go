@@ -2,6 +2,7 @@ package monitor
 
 import (
 	"sort"
+	"time"
 
 	"ironsafe/internal/simtime"
 )
@@ -48,4 +49,100 @@ func (m *Monitor) ScanTelemetryReport() []ScanTelemetry {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
 	return out
+}
+
+// TailTelemetry is one query class's tail-latency summary: exact
+// nearest-rank percentiles over the class's simulated end-to-end latencies
+// (the cost model's deterministic output, so the report is reproducible),
+// plus its hedging activity.
+type TailTelemetry struct {
+	Class     string
+	Queries   int
+	P50       time.Duration
+	P95       time.Duration
+	P99       time.Duration
+	Hedges    int
+	HedgeWins int
+}
+
+// TailReport is the fleet-wide tail health report: per-class latency
+// distributions plus the gray-failure event counters.
+type TailReport struct {
+	Classes []TailTelemetry
+	// Ejections / Readmissions count latency-outlier soft-ejection events
+	// from the cluster's health tracker (cumulative).
+	Ejections    int
+	Readmissions int
+}
+
+// tailClass accumulates one class's raw observations.
+type tailClass struct {
+	latencies []time.Duration
+	hedges    int
+	hedgeWins int
+}
+
+// ReportQueryTail records one completed query's simulated latency and hedge
+// activity under its query class.
+func (m *Monitor) ReportQueryTail(class string, latency time.Duration, hedges, hedgeWins int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.tailStats == nil {
+		m.tailStats = map[string]*tailClass{}
+	}
+	tc := m.tailStats[class]
+	if tc == nil {
+		tc = &tailClass{}
+		m.tailStats[class] = tc
+	}
+	tc.latencies = append(tc.latencies, latency)
+	tc.hedges += hedges
+	tc.hedgeWins += hedgeWins
+}
+
+// ReportTailEvents replaces the cumulative soft-ejection counters (the
+// caller reads them off the health tracker, which already accumulates).
+func (m *Monitor) ReportTailEvents(ejections, readmissions int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tailEjections = ejections
+	m.tailReadmissions = readmissions
+}
+
+// nearestRank is the exact nearest-rank percentile over sorted (ascending)
+// samples: the smallest value with at least p% of the samples at or below
+// it. No interpolation — small chaos-sweep populations stay exact and
+// deterministic.
+func nearestRank(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100 // ceil(p*n/100)
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// TailReportNow summarizes everything reported so far, classes sorted by
+// name.
+func (m *Monitor) TailReportNow() TailReport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rep := TailReport{Ejections: m.tailEjections, Readmissions: m.tailReadmissions}
+	for class, tc := range m.tailStats {
+		sorted := append([]time.Duration(nil), tc.latencies...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		rep.Classes = append(rep.Classes, TailTelemetry{
+			Class:     class,
+			Queries:   len(sorted),
+			P50:       nearestRank(sorted, 50),
+			P95:       nearestRank(sorted, 95),
+			P99:       nearestRank(sorted, 99),
+			Hedges:    tc.hedges,
+			HedgeWins: tc.hedgeWins,
+		})
+	}
+	sort.Slice(rep.Classes, func(i, j int) bool { return rep.Classes[i].Class < rep.Classes[j].Class })
+	return rep
 }

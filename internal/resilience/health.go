@@ -3,6 +3,7 @@ package resilience
 import (
 	"sort"
 	"sync"
+	"time"
 )
 
 // nodeState is one node's health record.
@@ -11,6 +12,19 @@ type nodeState struct {
 	open        bool
 	blocked     int // attempts rejected since the circuit opened
 	down        bool
+
+	// Latency estimator state (gray-failure detection). ewma is an integer
+	// fixed-point exponentially weighted moving average of reported offload
+	// latencies (alpha = 1/4, computed as ewma += (d-ewma)>>2 — pure
+	// integer arithmetic, so identical inputs give bit-identical estimates
+	// on every platform). ejected marks the node soft-ejected: alive and in
+	// the membership, but persistently slower than the cohort, so it is
+	// deprioritized rather than circuit-broken. demotions counts how many
+	// times Prioritize pushed the node back, driving count-based probes.
+	ewma      int64 // nanoseconds, fixed-point EWMA
+	samples   int
+	ejected   bool
+	demotions int
 }
 
 // Tracker is a per-node health tracker with count-based circuit breaking.
@@ -23,6 +37,11 @@ type Tracker struct {
 	mu    sync.Mutex
 	cfg   Config
 	nodes map[string]*nodeState
+
+	// Gray-failure event counters (telemetry: how often the latency
+	// estimator soft-ejected a node and how often one recovered).
+	ejections    int
+	readmissions int
 }
 
 // NewTracker creates a Tracker with cfg's breaker settings.
@@ -123,4 +142,145 @@ func (t *Tracker) Snapshot() (open, down []string) {
 	sort.Strings(open)
 	sort.Strings(down)
 	return open, down
+}
+
+// ReportLatency feeds one offload latency into id's EWMA estimator and
+// re-evaluates soft-ejection for the whole cohort. Latencies come from the
+// caller's clock (real monotonic in production, the fault plan's virtual
+// clock in the chaos suite), so the estimator itself never reads time.
+func (t *Tracker) ReportLatency(id string, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.state(id)
+	if s.samples == 0 {
+		s.ewma = int64(d)
+	} else {
+		s.ewma += (int64(d) - s.ewma) >> 2
+	}
+	s.samples++
+	t.evaluateEjectionLocked()
+}
+
+// EWMA reports id's current latency estimate (0 until the first report).
+func (t *Tracker) EWMA(id string) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return time.Duration(t.state(id).ewma)
+}
+
+// HedgeThreshold derives the hedge trigger for id: a fragment outstanding
+// past HedgeFactor× the node's EWMA is worth racing on a replica. Zero means
+// no estimate yet (caller should not hedge on it).
+func (t *Tracker) HedgeThreshold(id string) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.state(id)
+	if s.samples == 0 {
+		return 0
+	}
+	return time.Duration(s.ewma) * time.Duration(t.cfg.HedgeFactor)
+}
+
+// evaluateEjectionLocked re-runs the cohort outlier rule: a node with enough
+// samples whose EWMA exceeds EjectFactor× the cohort median (and the
+// absolute EjectFloor) is soft-ejected; an ejected node whose EWMA falls
+// back under ReadmitFactor× the median (hysteresis) is readmitted. Down
+// nodes are outside the cohort — fail-stop handling owns them.
+func (t *Tracker) evaluateEjectionLocked() {
+	var cohort []int64
+	for _, s := range t.nodes {
+		if s.down || s.samples == 0 {
+			continue
+		}
+		cohort = append(cohort, s.ewma)
+	}
+	if len(cohort) < 2 {
+		return // nothing to compare against
+	}
+	sort.Slice(cohort, func(i, j int) bool { return cohort[i] < cohort[j] })
+	var median int64
+	if n := len(cohort); n%2 == 1 {
+		median = cohort[n/2]
+	} else {
+		median = (cohort[n/2-1] + cohort[n/2]) / 2
+	}
+	floor := int64(t.cfg.EjectFloor)
+	for _, s := range t.nodes {
+		if s.down || s.samples == 0 {
+			continue
+		}
+		if !s.ejected {
+			if s.samples >= t.cfg.EjectMinSamples &&
+				s.ewma > floor &&
+				s.ewma > median*int64(t.cfg.EjectFactor) {
+				s.ejected = true
+				s.demotions = 0
+				t.ejections++
+			}
+		} else {
+			if s.ewma <= floor || s.ewma <= median*int64(t.cfg.ReadmitFactor) {
+				s.ejected = false
+				t.readmissions++
+			}
+		}
+	}
+}
+
+// Ejected reports whether id is currently soft-ejected by the latency
+// estimator.
+func (t *Tracker) Ejected(id string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state(id).ejected
+}
+
+// EjectedNodes returns the currently soft-ejected ids, sorted.
+func (t *Tracker) EjectedNodes() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []string
+	for id, s := range t.nodes {
+		if s.ejected && !s.down {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TailEvents reports the cumulative soft-ejection and readmission counts.
+func (t *Tracker) TailEvents() (ejections, readmissions int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ejections, t.readmissions
+}
+
+// Prioritize stably partitions ids so soft-ejected nodes come last — the
+// failover and hedge orderings consult it so traffic prefers the healthy
+// cohort. Every ProbeEvery-th demotion of a node instead leaves it in place
+// as a count-based probe: the ejected node keeps receiving a trickle of
+// offloads, so its EWMA can recover and trigger readmission. Down/open
+// breaker state is untouched — this orders candidates, Allow gates them.
+func (t *Tracker) Prioritize(ids []string) []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(ids))
+	var demoted []string
+	for _, id := range ids {
+		s := t.state(id)
+		if !s.ejected || s.down {
+			out = append(out, id)
+			continue
+		}
+		s.demotions++
+		if t.cfg.ProbeEvery > 0 && s.demotions%t.cfg.ProbeEvery == 0 {
+			out = append(out, id) // probe: keep its slot this round
+			continue
+		}
+		demoted = append(demoted, id)
+	}
+	return append(out, demoted...)
 }

@@ -1,0 +1,241 @@
+package resilience
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func grayTestConfig() Config {
+	return Config{
+		FailureThreshold: 3,
+		ProbeEvery:       4,
+		EjectFactor:      4,
+		ReadmitFactor:    2,
+		EjectMinSamples:  3,
+		EjectFloor:       time.Millisecond,
+	}.WithDefaults()
+}
+
+func TestEWMAIntegerDeterministic(t *testing.T) {
+	// The estimator is pure integer arithmetic: the same report sequence
+	// must produce bit-identical EWMAs on every run.
+	run := func() time.Duration {
+		tr := NewTracker(grayTestConfig())
+		for _, d := range []time.Duration{10, 20, 40, 30, 50} {
+			tr.ReportLatency("n", d*time.Millisecond)
+		}
+		return tr.EWMA("n")
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("EWMA nondeterministic: %v vs %v", a, b)
+	}
+	// First report seeds the estimate exactly.
+	tr := NewTracker(grayTestConfig())
+	tr.ReportLatency("n", 8*time.Millisecond)
+	if got := tr.EWMA("n"); got != 8*time.Millisecond {
+		t.Fatalf("first report must seed EWMA, got %v", got)
+	}
+	// alpha=1/4: 8ms then 16ms -> 8 + (16-8)/4 = 10ms.
+	tr.ReportLatency("n", 16*time.Millisecond)
+	if got := tr.EWMA("n"); got != 10*time.Millisecond {
+		t.Fatalf("EWMA after 8,16 = %v, want 10ms", got)
+	}
+}
+
+func TestEjectionAndReadmission(t *testing.T) {
+	tr := NewTracker(grayTestConfig())
+	// Two fast cohort members, one gray node 10× slower.
+	for i := 0; i < 4; i++ {
+		tr.ReportLatency("fast-1", 2*time.Millisecond)
+		tr.ReportLatency("fast-2", 2*time.Millisecond)
+		tr.ReportLatency("slow-1", 20*time.Millisecond)
+	}
+	if !tr.Ejected("slow-1") {
+		t.Fatalf("slow node 10× over median must be ejected (ewma=%v)", tr.EWMA("slow-1"))
+	}
+	if tr.Ejected("fast-1") || tr.Ejected("fast-2") {
+		t.Fatal("fast cohort must not be ejected")
+	}
+	if got := tr.EjectedNodes(); !reflect.DeepEqual(got, []string{"slow-1"}) {
+		t.Fatalf("EjectedNodes = %v", got)
+	}
+	// Soft ejection must not touch the fail-stop machinery.
+	if open, down := tr.Snapshot(); len(open) != 0 || len(down) != 0 {
+		t.Fatalf("ejection leaked into breaker state: open=%v down=%v", open, down)
+	}
+	if !tr.Allow("slow-1") {
+		t.Fatal("ejected node must still pass Allow (deprioritized, not blocked)")
+	}
+
+	// Recovery: fast reports pull the EWMA back under ReadmitFactor×median.
+	for i := 0; i < 12 && tr.Ejected("slow-1"); i++ {
+		tr.ReportLatency("slow-1", 2*time.Millisecond)
+	}
+	if tr.Ejected("slow-1") {
+		t.Fatalf("recovered node must be readmitted, ewma=%v", tr.EWMA("slow-1"))
+	}
+	ej, re := tr.TailEvents()
+	if ej != 1 || re != 1 {
+		t.Fatalf("TailEvents = (%d,%d), want (1,1)", ej, re)
+	}
+}
+
+func TestEjectionHysteresis(t *testing.T) {
+	// A node hovering between ReadmitFactor× and EjectFactor× the median
+	// keeps its current state — no flapping at the boundary.
+	tr := NewTracker(grayTestConfig())
+	for i := 0; i < 4; i++ {
+		tr.ReportLatency("fast-1", 4*time.Millisecond)
+		tr.ReportLatency("fast-2", 4*time.Millisecond)
+		tr.ReportLatency("mid-1", 12*time.Millisecond) // 3× median: between 2× and 4×
+	}
+	if tr.Ejected("mid-1") {
+		t.Fatal("3× median is under EjectFactor=4 — must not eject")
+	}
+}
+
+func TestEjectionFloor(t *testing.T) {
+	// An all-fast cohort has harmless multiplicative spread: 100µs vs 10µs
+	// is 10× the median but under the absolute 1ms floor.
+	tr := NewTracker(grayTestConfig())
+	for i := 0; i < 4; i++ {
+		tr.ReportLatency("a", 10*time.Microsecond)
+		tr.ReportLatency("b", 10*time.Microsecond)
+		tr.ReportLatency("c", 100*time.Microsecond)
+	}
+	if tr.Ejected("c") {
+		t.Fatal("sub-floor latencies must never eject")
+	}
+}
+
+func TestEjectionNeedsMinSamples(t *testing.T) {
+	tr := NewTracker(grayTestConfig())
+	tr.ReportLatency("fast-1", 2*time.Millisecond)
+	tr.ReportLatency("fast-2", 2*time.Millisecond)
+	tr.ReportLatency("slow-1", time.Second) // one outlier sample
+	if tr.Ejected("slow-1") {
+		t.Fatal("one sample must not eject (EjectMinSamples=3)")
+	}
+}
+
+func TestPrioritizeDemotesEjectedWithProbes(t *testing.T) {
+	tr := NewTracker(grayTestConfig())
+	for i := 0; i < 4; i++ {
+		tr.ReportLatency("a", 2*time.Millisecond)
+		tr.ReportLatency("b", 2*time.Millisecond)
+		tr.ReportLatency("c", 40*time.Millisecond)
+	}
+	if !tr.Ejected("c") {
+		t.Fatal("setup: c must be ejected")
+	}
+	ids := []string{"c", "a", "b"}
+	// Demotions 1..3 push c last (stable partition), the 4th (ProbeEvery=4)
+	// keeps its slot as a probe.
+	for i := 0; i < 3; i++ {
+		got := tr.Prioritize(ids)
+		if !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+			t.Fatalf("demotion %d: Prioritize = %v, want [a b c]", i+1, got)
+		}
+	}
+	if got := tr.Prioritize(ids); !reflect.DeepEqual(got, []string{"c", "a", "b"}) {
+		t.Fatalf("probe round: Prioritize = %v, want original order [c a b]", got)
+	}
+	// Healthy cohort passes through untouched.
+	if got := tr.Prioritize([]string{"b", "a"}); !reflect.DeepEqual(got, []string{"b", "a"}) {
+		t.Fatalf("healthy Prioritize reordered: %v", got)
+	}
+}
+
+func TestTrackerConcurrentAllowReportAndLatency(t *testing.T) {
+	// Race coverage: half-open probing, latency reports, and snapshots all
+	// concurrently. Run with -race; correctness assertion is just "no panic,
+	// snapshot stays sorted".
+	tr := NewTracker(grayTestConfig())
+	ids := []string{"n1", "n2", "n3"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := ids[(g+i)%len(ids)]
+				if tr.Allow(id) {
+					tr.Report(id, i%7 != 0)
+				}
+				tr.ReportLatency(id, time.Duration(1+i%5)*time.Millisecond)
+				if i%50 == 0 {
+					tr.Snapshot()
+					tr.EjectedNodes()
+					tr.Prioritize(ids)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	open, down := tr.Snapshot()
+	if !sortedStrings(open) || !sortedStrings(down) {
+		t.Fatalf("Snapshot not sorted: open=%v down=%v", open, down)
+	}
+}
+
+func TestSnapshotOrderingStableAcrossRuns(t *testing.T) {
+	// Determinism: identical report sequences produce identical snapshots,
+	// and the ordering is sorted regardless of map iteration order.
+	run := func() ([]string, []string) {
+		tr := NewTracker(grayTestConfig())
+		for _, id := range []string{"z-node", "a-node", "m-node"} {
+			for i := 0; i < 3; i++ {
+				tr.Report(id, false)
+			}
+		}
+		tr.MarkDown("q-node")
+		return tr.Snapshot()
+	}
+	o1, d1 := run()
+	o2, d2 := run()
+	if !reflect.DeepEqual(o1, o2) || !reflect.DeepEqual(d1, d2) {
+		t.Fatalf("snapshot unstable: (%v,%v) vs (%v,%v)", o1, d1, o2, d2)
+	}
+	if !reflect.DeepEqual(o1, []string{"a-node", "m-node", "z-node"}) {
+		t.Fatalf("open not sorted: %v", o1)
+	}
+}
+
+func TestHalfOpenProbeUnderInterleavedAllow(t *testing.T) {
+	// Deterministic probing: with ProbeEvery=4, an open circuit admits
+	// exactly every 4th blocked attempt.
+	tr := NewTracker(grayTestConfig())
+	for i := 0; i < 3; i++ {
+		tr.Report("n", false)
+	}
+	if !tr.Open("n") {
+		t.Fatal("circuit must open after FailureThreshold failures")
+	}
+	var admitted []int
+	for i := 1; i <= 12; i++ {
+		if tr.Allow("n") {
+			admitted = append(admitted, i)
+		}
+	}
+	if !reflect.DeepEqual(admitted, []int{4, 8, 12}) {
+		t.Fatalf("probe cadence = %v, want every 4th", admitted)
+	}
+	// A successful probe closes the circuit and resets latency-independent
+	// state; subsequent attempts all pass.
+	tr.Report("n", true)
+	if tr.Open("n") || !tr.Allow("n") {
+		t.Fatal("successful probe must close the circuit")
+	}
+}
+
+func sortedStrings(s []string) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i-1] > s[i] {
+			return false
+		}
+	}
+	return true
+}

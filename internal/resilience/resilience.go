@@ -71,6 +71,54 @@ type Config struct {
 	// ProbeEvery allows one probe through an open circuit every N blocked
 	// attempts (count-based half-open, deterministic without a clock).
 	ProbeEvery int
+
+	// AttemptCost is the deterministic budget charge for one offload or
+	// retry attempt whose real duration is unknown (a stalled attempt burns
+	// exactly its armed deadline; the budget charges AttemptCost so the
+	// accounting never reads the wall clock). Defaults to IOTimeout when
+	// set, else 100ms.
+	AttemptCost time.Duration
+	// QueryBudget is the total deadline budget one query's distributed path
+	// (all attempts, failovers, hedges) may spend. Defaults to
+	// 32×AttemptCost — generous enough that fail-stop retry patterns (worst
+	// case one attempt plus one fresh-channel handshake per ship per
+	// candidate) never hit it; only sustained gray failure does.
+	QueryBudget time.Duration
+	// HedgeFactor derives the hedge threshold from a node's EWMA latency: a
+	// fragment still outstanding past HedgeFactor×EWMA is worth racing on a
+	// second replica. Defaults to 3.
+	HedgeFactor int
+	// HedgeMaxConcurrent caps cluster-wide in-flight hedge legs so hedging
+	// cannot amplify an overload. Defaults to 2.
+	HedgeMaxConcurrent int
+	// EjectFactor soft-ejects a node whose EWMA latency exceeds
+	// EjectFactor× the cohort median (deprioritized, probed, readmitted —
+	// distinct from the fail-stop down-set). Defaults to 4.
+	EjectFactor int
+	// ReadmitFactor readmits an ejected node once its EWMA falls back under
+	// ReadmitFactor× the cohort median (hysteresis so a node on the
+	// boundary does not flap). Defaults to 2.
+	ReadmitFactor int
+	// EjectMinSamples is the minimum latency reports a node needs before it
+	// can be ejected (no ejecting on one slow outlier). Defaults to 3.
+	EjectMinSamples int
+	// EjectFloor is an absolute latency below which a node is never ejected
+	// regardless of the cohort ratio (all-fast cohorts have harmless
+	// multiplicative spread). Defaults to 1ms.
+	EjectFloor time.Duration
+	// LatencyClock, when set, supplies the current per-node time used to
+	// measure offload latencies for the EWMA estimator. Nil means the real
+	// monotonic clock. The chaos suite injects a virtual clock derived from
+	// the fault plan so ejection decisions are deterministic per seed.
+	LatencyClock func(node string) time.Duration
+	// TailTolerance enables the gray-failure machinery — EWMA latency
+	// tracking, cohort-median soft-ejection, and hedged offloads — on the
+	// real monotonic clock. Off by default: real-clock latencies make
+	// candidate ordering and hedge timing depend on the host machine, which
+	// would break the chaos suites' byte-identical-per-seed digests, so
+	// deterministic harnesses either leave this off or inject LatencyClock
+	// (which implies tail tolerance with a virtual clock).
+	TailTolerance bool
 }
 
 // WithDefaults returns c with zero fields replaced by production defaults.
@@ -104,7 +152,42 @@ func (c Config) WithDefaults() Config {
 	if c.ProbeEvery == 0 {
 		c.ProbeEvery = 4
 	}
+	if c.AttemptCost == 0 {
+		if c.IOTimeout > 0 {
+			c.AttemptCost = c.IOTimeout
+		} else {
+			c.AttemptCost = 100 * time.Millisecond
+		}
+	}
+	if c.QueryBudget == 0 {
+		c.QueryBudget = 32 * c.AttemptCost
+	}
+	if c.HedgeFactor == 0 {
+		c.HedgeFactor = 3
+	}
+	if c.HedgeMaxConcurrent == 0 {
+		c.HedgeMaxConcurrent = 2
+	}
+	if c.EjectFactor == 0 {
+		c.EjectFactor = 4
+	}
+	if c.ReadmitFactor == 0 {
+		c.ReadmitFactor = 2
+	}
+	if c.EjectMinSamples == 0 {
+		c.EjectMinSamples = 3
+	}
+	if c.EjectFloor == 0 {
+		c.EjectFloor = time.Millisecond
+	}
 	return c
+}
+
+// NewQueryBudget creates the per-query deadline budget from the config's
+// QueryBudget/AttemptCost knobs (call on a WithDefaults config; a zero
+// QueryBudget yields a nil = unlimited budget).
+func (c Config) NewQueryBudget() *Budget {
+	return NewBudget(c.QueryBudget, c.AttemptCost)
 }
 
 // RealSleep blocks for d on the real clock — deployed-binary pacing only;
@@ -196,17 +279,73 @@ func (b *Backoff) Next(attempt int) time.Duration {
 	return d
 }
 
+// ExhaustedError is the typed failure Retry returns when every attempt
+// failed: it wraps ErrExhausted and the last attempt's error, and carries
+// per-attempt elapsed time so budget accounting can see where a query's
+// slice went. PerAttempt holds each attempt's deterministic charge
+// (AttemptCost per attempt, or the budget slice an attempt was armed with),
+// never measured wall time, so error values are reproducible per seed.
+type ExhaustedError struct {
+	// Attempts is how many times op ran before giving up.
+	Attempts int
+	// PerAttempt is each attempt's elapsed-time charge, in attempt order.
+	PerAttempt []time.Duration
+	// Last is the final attempt's error.
+	Last error
+}
+
+func (e *ExhaustedError) Error() string {
+	return fmt.Sprintf("%v after %d attempts: %v", ErrExhausted, e.Attempts, e.Last)
+}
+
+// Unwrap lets errors.Is match both ErrExhausted and the underlying failure.
+func (e *ExhaustedError) Unwrap() []error { return []error{ErrExhausted, e.Last} }
+
+// Elapsed sums the per-attempt charges — the total budget the failed retry
+// cycle consumed.
+func (e *ExhaustedError) Elapsed() time.Duration {
+	var total time.Duration
+	for _, d := range e.PerAttempt {
+		total += d
+	}
+	return total
+}
+
 // Retry runs op up to attempts times, backing off between failures. A nil
-// cfg.Sleep computes but does not wait the delays. Errors marked Permanent
-// stop the loop at once; exhausting attempts returns an error wrapping both
-// ErrExhausted and the last failure.
+// cfg.Sleep computes but does not wait the delays; no backoff is slept after
+// the final failed attempt. Errors marked Permanent stop the loop at once;
+// exhausting attempts returns an *ExhaustedError wrapping both ErrExhausted
+// and the last failure.
 func Retry(cfg Config, attempts int, op func(attempt int) error) error {
+	return RetryBudgeted(cfg, attempts, nil, op)
+}
+
+// RetryBudgeted is Retry gated by a per-query deadline budget: each attempt
+// first charges cfg.AttemptCost (via b.SpendAttempt) and the loop stops with
+// an error wrapping ErrBudgetExhausted the moment the budget runs dry —
+// even if attempts remain. A nil budget is unlimited, making this exactly
+// Retry. This is the sanctioned retry form inside the cluster/hostengine
+// subtree (enforced by the ironsafe-vet budgetless analyzer).
+func RetryBudgeted(cfg Config, attempts int, bud *Budget, op func(attempt int) error) error {
 	if attempts <= 0 {
 		attempts = 1
 	}
+	cost := cfg.AttemptCost
+	if cost <= 0 {
+		cost = cfg.WithDefaults().AttemptCost
+	}
 	b := cfg.NewBackoff(uint64(attempts))
 	var err error
+	var perAttempt []time.Duration
 	for i := 0; i < attempts; i++ {
+		if !bud.SpendAttempt() {
+			exh := &ExhaustedError{Attempts: i, PerAttempt: perAttempt, Last: err}
+			if err == nil {
+				return fmt.Errorf("%w before attempt %d", ErrBudgetExhausted, i+1)
+			}
+			return fmt.Errorf("%w: %w", ErrBudgetExhausted, exh)
+		}
+		perAttempt = append(perAttempt, cost)
 		if err = op(i); err == nil {
 			return nil
 		}
@@ -219,7 +358,7 @@ func Retry(cfg Config, attempts int, op func(attempt int) error) error {
 			}
 		}
 	}
-	return fmt.Errorf("%w after %d attempts: %w", ErrExhausted, attempts, err)
+	return &ExhaustedError{Attempts: attempts, PerAttempt: perAttempt, Last: err}
 }
 
 // DialTCP opens a TCP connection with per-attempt timeout and backoff —
@@ -255,4 +394,22 @@ func WithConnDeadline(conn net.Conn, d time.Duration, fn func() error) error {
 	}
 	defer conn.SetDeadline(time.Time{})
 	return fn()
+}
+
+// WithBudgetedConnDeadline is WithConnDeadline gated by a per-query deadline
+// budget: the attempt is refused with ErrBudgetExhausted when the budget is
+// dry, the armed deadline is clipped to min(d, remaining budget) so a
+// stalled peer can never burn more real time than the query has left, and
+// one deterministic AttemptCost is charged. The charge is deliberately NOT
+// the armed slice — a 3 s handshake timeout must not drain a whole query
+// budget paying for a handshake that completes instantly. A nil budget is
+// unlimited. This is the sanctioned deadline form inside the
+// cluster/hostengine subtree (enforced by the ironsafe-vet budgetless
+// analyzer).
+func WithBudgetedConnDeadline(conn net.Conn, bud *Budget, d time.Duration, fn func() error) error {
+	slice := bud.Slice(d)
+	if !bud.SpendAttempt() {
+		return fmt.Errorf("%w: conn deadline refused", ErrBudgetExhausted)
+	}
+	return WithConnDeadline(conn, slice, fn)
 }

@@ -270,8 +270,9 @@ func (s *Server) Cores() int { return s.cfg.Cores }
 // Serve accepts host connections on ln. Protocol (all frames over the
 // session-key-bound secure channel):
 //
-//	-> "offload"  payload = sessionID \x00 SQL
-//	<- "result"   payload = exec wire encoding
+//	-> "offload"  payload = budgetMicros (8B LE; 2^64-1 = unbudgeted) ++ SQL
+//	<- "result"   payload = epoch (8B LE) ++ exec wire encoding
+//	<- "budget"   payload = empty (deadline budget exhausted; not executed)
 //	<- "error"    payload = message
 //
 // The first frame's session binding: the channel handshake requires the
@@ -332,7 +333,23 @@ func (s *Server) ServeConn(conn net.Conn) {
 		}
 		switch typ {
 		case "offload":
-			res, err := s.ExecOffload(string(payload))
+			// Offload frames carry an 8-byte little-endian deadline-budget
+			// prefix (remaining µs; math.MaxUint64 = unbudgeted) ahead of the
+			// SQL. The storage node enforces the budget at admission: a
+			// fragment arriving with nothing left gets a typed "budget"
+			// refusal instead of burning TEE cycles on a result the host can
+			// no longer use. (The in-flight slice itself is bounded by the
+			// channel deadline the host arms from the same budget.)
+			if len(payload) < 8 {
+				sc.Send("error", []byte("offload frame too short for budget prefix"))
+				continue
+			}
+			budgetMicros := binary.LittleEndian.Uint64(payload[:8])
+			if budgetMicros == 0 {
+				sc.Send("budget", nil)
+				continue
+			}
+			res, err := s.ExecOffload(string(payload[8:]))
 			if err != nil {
 				sc.Send("error", []byte(err.Error()))
 				continue

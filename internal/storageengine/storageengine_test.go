@@ -1,6 +1,7 @@
 package storageengine
 
 import (
+	"encoding/binary"
 	"net"
 	"strings"
 	"testing"
@@ -9,6 +10,14 @@ import (
 	"ironsafe/internal/tee/trustzone"
 	"ironsafe/internal/transport"
 )
+
+// offloadFrame builds an unbudgeted offload payload (see Serve's protocol
+// doc: 8-byte budget prefix, 2^64-1 = unbudgeted, then the SQL).
+func offloadFrame(sql string) []byte {
+	frame := make([]byte, 8, 8+len(sql))
+	binary.LittleEndian.PutUint64(frame, ^uint64(0))
+	return append(frame, sql...)
+}
 
 func newServer(t *testing.T, secure bool) (*Server, *simtime.Meter) {
 	t.Helper()
@@ -148,7 +157,7 @@ func TestServeOffloadOverTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sc.Close()
-	if err := sc.Send("offload", []byte("SELECT a FROM t WHERE a >= 2")); err != nil {
+	if err := sc.Send("offload", offloadFrame("SELECT a FROM t WHERE a >= 2")); err != nil {
 		t.Fatal(err)
 	}
 	typ, payload, err := sc.Recv()
@@ -159,10 +168,24 @@ func TestServeOffloadOverTCP(t *testing.T) {
 		t.Error("empty result payload")
 	}
 	// Errors travel as error frames.
-	sc.Send("offload", []byte("SELECT nope FROM t"))
+	sc.Send("offload", offloadFrame("SELECT nope FROM t"))
 	typ, payload, _ = sc.Recv()
 	if typ != "error" || !strings.Contains(string(payload), "nope") {
 		t.Errorf("error frame = %q %q", typ, payload)
+	}
+	// A frame declaring an exhausted deadline budget is refused with a
+	// typed "budget" frame before any execution.
+	drained := make([]byte, 8)
+	sc.Send("offload", append(drained, "SELECT a FROM t"...))
+	typ, _, _ = sc.Recv()
+	if typ != "budget" {
+		t.Errorf("exhausted-budget offload = %q, want budget refusal", typ)
+	}
+	// A frame too short to carry the budget prefix is malformed.
+	sc.Send("offload", []byte("SELECT"))
+	typ, payload, _ = sc.Recv()
+	if typ != "error" || !strings.Contains(string(payload), "budget prefix") {
+		t.Errorf("short offload frame = %q %q", typ, payload)
 	}
 	sc.Send("unknown-cmd", nil)
 	typ, _, _ = sc.Recv()

@@ -20,6 +20,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"time"
 
 	"ironsafe/internal/engine"
 	"ironsafe/internal/hostengine"
@@ -192,8 +193,22 @@ type Cluster struct {
 	res    resilience.Config
 	health *resilience.Tracker
 
+	// hedgeSem is the cluster-wide hedge concurrency gate: PlanHedge takes
+	// a slot non-blockingly and HedgeDone returns it, so hedging can never
+	// fan out past HedgeMaxConcurrent and amplify an overload.
+	hedgeSem chan struct{}
+	// start anchors the real monotonic clock the latency estimator falls
+	// back to when no virtual LatencyClock is configured.
+	start time.Time
+
 	nodeMu sync.Mutex
 	down   map[string]bool // nodes killed and not yet readmitted
+	// brownout sheds all hedges (the first load to go when the serving
+	// layer reports overload); hedgesGranted/hedgesShed count PlanHedge
+	// decisions for telemetry.
+	brownout      bool
+	hedgesGranted int
+	hedgesShed    int
 	// epoch is the cluster membership epoch: KillStorage bumps it and
 	// broadcasts the new value to the surviving nodes, whose offload replies
 	// carry it. A fenced node still serving from a stale epoch betrays
@@ -230,6 +245,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		c.res = resilience.Config{}.WithDefaults()
 	}
 	c.health = resilience.NewTracker(c.res)
+	c.hedgeSem = make(chan struct{}, c.res.HedgeMaxConcurrent)
+	c.start = time.Now() //ironsafe:allow wallclock -- monotonic base for real latency measurement; sweeps override via Resilience.LatencyClock
 	var err error
 	c.vendor, err = trustzone.NewVendor("ironsafe-vendor")
 	if err != nil {
