@@ -1,0 +1,78 @@
+package ironsafe
+
+import (
+	"testing"
+
+	"ironsafe/internal/sql/exec"
+)
+
+// countingNode is a fake cached storage channel counting Close calls.
+type countingNode struct {
+	id     string
+	closes int
+}
+
+func (n *countingNode) NodeID() string                              { return n.id }
+func (n *countingNode) Offload(string) (*exec.Result, int64, error) { return nil, 0, nil }
+func (n *countingNode) Close() error                                { n.closes++; return nil }
+
+func TestSessionProviderDetachLegQuarantinesCachedChannel(t *testing.T) {
+	c, err := NewCluster(Config{Mode: IronSafe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := c.newSessionProvider([]string{"storage-01"}, "sid", nil)
+	loser := &countingNode{id: "storage-01"}
+	p.cached["storage-01"] = loser
+
+	settle := p.DetachLeg("storage-01", loser)
+	if _, still := p.cached["storage-01"]; still {
+		t.Fatal("detached channel still cached: a later Connect would share it with the in-flight loser")
+	}
+
+	// A replacement channel cached after the detach must survive both the
+	// loser's settle and the end-of-query close — only the detached private
+	// channel belongs to the settle.
+	fresh := &countingNode{id: "storage-01"}
+	p.cached["storage-01"] = fresh
+	settle(false, true)
+	p.drainWait()
+	if loser.closes != 1 {
+		t.Errorf("detached channel closed %d times, want exactly once at settle", loser.closes)
+	}
+	if fresh.closes != 0 {
+		t.Error("loser settle closed the replacement channel")
+	}
+
+	// The loser's failure reached the breaker (two more failures open it).
+	c.Health().Report("storage-01", false)
+	c.Health().Report("storage-01", false)
+	if !c.Health().Open("storage-01") {
+		t.Error("detached loser's failure never fed the circuit breaker")
+	}
+
+	// close() tears down only what is cached.
+	p.close()
+	if fresh.closes != 1 {
+		t.Errorf("close() closed the cached channel %d times, want once", fresh.closes)
+	}
+
+	// Detaching a node that is no longer the cached channel (Report evicted
+	// it and a fresh one replaced it) must leave the replacement alone, but
+	// still close the orphaned loser channel and balance drain accounting.
+	orphan := &countingNode{id: "storage-01"}
+	current := &countingNode{id: "storage-01"}
+	p.cached["storage-01"] = current
+	settle = p.DetachLeg("storage-01", orphan)
+	if p.cached["storage-01"] != current {
+		t.Error("detach with a stale node evicted the current cached channel")
+	}
+	settle(true, false)
+	p.drainWait()
+	if orphan.closes != 1 {
+		t.Errorf("orphaned loser channel closed %d times, want once", orphan.closes)
+	}
+	if current.closes != 0 {
+		t.Error("stale-node settle closed the current cached channel")
+	}
+}

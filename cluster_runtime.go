@@ -241,6 +241,12 @@ type sessionProvider struct {
 	// guards the map: hedged races dial two legs concurrently.
 	cacheMu sync.Mutex
 	cached  map[string]hostengine.StorageNode
+
+	// drains tracks background loser drains from abandoned hedge races: each
+	// DetachLeg adds one, its settle call removes it. The detached channels
+	// are owned by their settle funcs, not the cache, so close() never tears
+	// one down under an in-flight Recv.
+	drains sync.WaitGroup
 }
 
 func (c *Cluster) newSessionProvider(authorized []string, sessionID string, sessionKey []byte) *sessionProvider {
@@ -438,7 +444,39 @@ func (p *sessionProvider) Report(id string, ok bool) {
 	}
 }
 
-// close tears down the provider's live channels at end of query.
+// DetachLeg implements hostengine.LegDetacher: it removes the abandoned
+// loser's exact channel from the cache so the loser finishes on a private
+// channel while subsequent Connects dial fresh. The identity compare matters:
+// if a failure report already evicted node and a replacement was cached, the
+// replacement is someone else's healthy channel and must stay. The returned
+// settle feeds the breaker directly — never through Report, whose failure
+// path would drop (and close, possibly mid-use) whatever NEW channel got
+// cached for id after the detach — then closes the quarantined channel and
+// deregisters the drain.
+func (p *sessionProvider) DetachLeg(id string, node hostengine.StorageNode) func(ok, reportable bool) {
+	p.cacheMu.Lock()
+	if p.cached[id] == node {
+		delete(p.cached, id)
+	}
+	p.cacheMu.Unlock()
+	p.drains.Add(1)
+	return func(ok, reportable bool) {
+		if reportable {
+			p.c.health.Report(id, ok)
+		}
+		if closer, isCloser := node.(interface{ Close() error }); isCloser {
+			closer.Close()
+		}
+		p.drains.Done()
+	}
+}
+
+// close tears down the provider's live channels at end of query. Channels
+// detached for abandoned hedge losers are not in the cache anymore — their
+// settle funcs close them when the loser leg lands. close deliberately does
+// NOT wait for those drains: blocking the query's return on a stalled
+// loser's timeout would reintroduce exactly the tail latency the hedge was
+// raced to hide. (drainWait exists for tests that need the settle observed.)
 func (p *sessionProvider) close() {
 	p.cacheMu.Lock()
 	defer p.cacheMu.Unlock()
@@ -449,6 +487,9 @@ func (p *sessionProvider) close() {
 		delete(p.cached, id)
 	}
 }
+
+// drainWait blocks until every outstanding loser drain has settled.
+func (p *sessionProvider) drainWait() { p.drains.Wait() }
 
 // connectNode builds one StorageNode: a direct in-process adapter by
 // default, or — with ChannelTransport — a real monitor-keyed secure channel

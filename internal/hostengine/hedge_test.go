@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -269,6 +270,194 @@ func TestHedgeFanOutRespectsConcurrencyCap(t *testing.T) {
 	}
 	if p.granted != p.done {
 		t.Errorf("slot leak under contention: granted=%d done=%d", p.granted, p.done)
+	}
+}
+
+// cachingHedgeProvider mimics the cluster's sessionProvider: one live node
+// cached per id across Connects, failure reports dropping the cached entry,
+// and LegDetacher so abandoned hedge losers finish on a detached private
+// node while subsequent Connects get a fresh one.
+type cachingHedgeProvider struct {
+	r   *rig
+	ids []string
+
+	// stallFirst blocks the first node object dialed for that id until
+	// release is closed — the gray leg an abandon-mode race leaves behind.
+	// stalledIn is closed the moment that offload is in flight; Connect for
+	// every OTHER id waits on it, pinning the schedule: the race is always
+	// decided while the stalled loser is mid-offload, never before it sent.
+	stallFirst string
+	release    chan struct{}
+	stalledIn  chan struct{}
+	stallOnce  sync.Once
+
+	mu       sync.Mutex
+	cache    map[string]*trackedNode
+	nodes    []*trackedNode
+	connects map[string]int
+	settles  int
+	drains   sync.WaitGroup
+}
+
+// trackedNode records per-object offload concurrency: two offloads in
+// flight on one node object means two Send+Recv exchanges sharing a channel,
+// which is exactly the reply-crossing bug the detach exists to prevent.
+type trackedNode struct {
+	p     *cachingHedgeProvider
+	id    string
+	stall bool
+
+	inflight    int32
+	maxInflight int32
+	closed      int32
+}
+
+func (n *trackedNode) NodeID() string { return n.id }
+
+func (n *trackedNode) Offload(sql string) (*exec.Result, int64, error) {
+	cur := atomic.AddInt32(&n.inflight, 1)
+	defer atomic.AddInt32(&n.inflight, -1)
+	for {
+		max := atomic.LoadInt32(&n.maxInflight)
+		if cur <= max || atomic.CompareAndSwapInt32(&n.maxInflight, max, cur) {
+			break
+		}
+	}
+	if n.stall {
+		n.p.stallOnce.Do(func() { close(n.p.stalledIn) })
+		select {
+		case <-n.p.release:
+		case <-time.After(5 * time.Second):
+		}
+		return nil, 0, errors.New("stalled leg drained")
+	}
+	return n.p.r.node().Offload(sql)
+}
+
+func (n *trackedNode) Close() error {
+	atomic.AddInt32(&n.closed, 1)
+	return nil
+}
+
+func (p *cachingHedgeProvider) CandidateIDs() []string { return p.ids }
+
+func (p *cachingHedgeProvider) Connect(id string) (StorageNode, error) {
+	if id != p.stallFirst {
+		select {
+		case <-p.stalledIn:
+		case <-time.After(5 * time.Second):
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n, ok := p.cache[id]; ok {
+		return n, nil
+	}
+	p.connects[id]++
+	n := &trackedNode{p: p, id: id, stall: id == p.stallFirst && p.connects[id] == 1}
+	p.cache[id] = n
+	p.nodes = append(p.nodes, n)
+	return n, nil
+}
+
+func (p *cachingHedgeProvider) Report(id string, ok bool) {
+	if ok {
+		return
+	}
+	p.mu.Lock()
+	n, cached := p.cache[id]
+	delete(p.cache, id)
+	p.mu.Unlock()
+	if cached {
+		n.Close()
+	}
+}
+
+func (p *cachingHedgeProvider) DetachLeg(id string, node StorageNode) func(ok, reportable bool) {
+	p.mu.Lock()
+	if n, ok := p.cache[id]; ok && StorageNode(n) == node {
+		delete(p.cache, id)
+	}
+	p.mu.Unlock()
+	p.drains.Add(1)
+	return func(legOK, reportable bool) {
+		p.mu.Lock()
+		p.settles++
+		p.mu.Unlock()
+		if tn, ok := node.(*trackedNode); ok {
+			tn.Close()
+		}
+		p.drains.Done()
+	}
+}
+
+func (p *cachingHedgeProvider) PlanHedge(primary string, candidates []string) (string, time.Duration, bool) {
+	if len(candidates) == 0 {
+		return "", 0, false
+	}
+	return candidates[0], 0, true
+}
+
+func (p *cachingHedgeProvider) HedgeDone() {}
+
+func (p *cachingHedgeProvider) JoinLoser() bool { return false }
+
+func TestAbandonedHedgeLoserDetachedFromCache(t *testing.T) {
+	// Abandon-mode regression: the loser's stalled offload stays in flight on
+	// its channel after the race returns. Later ships landing on the same
+	// node must get a FRESH channel (never the one with a foreign request
+	// outstanding), and no node object may ever carry two concurrent
+	// offloads.
+	r := newRig(t, true, true)
+	p := &cachingHedgeProvider{
+		r:          r,
+		ids:        []string{"storage-01", "storage-02"},
+		stallFirst: "storage-01",
+		release:    make(chan struct{}),
+		stalledIn:  make(chan struct{}),
+		cache:      map[string]*trackedNode{},
+		connects:   map[string]int{},
+	}
+	res, outcome, err := r.host.ExecuteSplitProvider(tpch.Queries[3], p)
+	if err != nil {
+		t.Fatalf("query failed despite healthy hedges: %v", err)
+	}
+	direct, err := r.server.DB().Execute(tpch.Queries[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(direct.Rows) {
+		t.Errorf("result %d rows, direct %d — a crossed reply may have been absorbed", len(res.Rows), len(direct.Rows))
+	}
+	if outcome.Hedges == 0 {
+		t.Fatal("setup: no hedge race fired")
+	}
+	close(p.release) // let the stalled loser drain
+	p.drains.Wait()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.connects["storage-01"] < 2 {
+		t.Errorf("stalled node never re-dialed after detach: connects=%v", p.connects)
+	}
+	if p.settles == 0 {
+		t.Error("abandoned loser never settled its detached channel")
+	}
+	var stalled *trackedNode
+	for _, n := range p.nodes {
+		if n.stall {
+			stalled = n
+		}
+	}
+	if stalled == nil {
+		t.Fatal("setup: stalled primary never dialed")
+	}
+	if atomic.LoadInt32(&stalled.closed) == 0 {
+		t.Error("detached channel never closed after its drain landed")
+	}
+	for i, n := range p.nodes {
+		if m := atomic.LoadInt32(&n.maxInflight); m > 1 {
+			t.Errorf("node object %d (%s) saw %d concurrent offloads on one channel", i, n.id, m)
+		}
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"ironsafe/internal/engine"
@@ -216,6 +217,50 @@ type HedgingProvider interface {
 	JoinLoser() bool
 }
 
+// LegDetacher is implemented by providers that cache live channels across
+// Connect calls. When a hedged race abandons its losing leg, that leg's
+// Offload is still in flight on the loser's channel — if the provider kept
+// the channel cached, the next Connect to the same node would hand the main
+// loop a channel with a foreign request outstanding, and the new offload
+// could consume the loser's in-order reply (wrong fragment's rows). DetachLeg
+// removes the loser's channel from the provider BEFORE the race returns, so
+// subsequent Connects establish a fresh one while the loser finishes on its
+// now-private channel.
+//
+// Abandon-mode races (JoinLoser false) on a caching provider REQUIRE this
+// interface; providers that hand out a fresh node per Connect don't need it.
+type LegDetacher interface {
+	// DetachLeg quarantines node — the exact channel the abandoned loser leg
+	// holds — and registers an outstanding background drain. The provider
+	// must drop node from its cache only if it is still the cached channel
+	// for id (identity compare: a failure report may already have evicted it
+	// and cached a replacement that is NOT the loser's). The returned settle
+	// MUST be called exactly once, when the loser leg lands: it feeds the
+	// breaker (when reportable — a leg that never connected was already
+	// reported by Connect), closes the quarantined channel, and deregisters
+	// the drain. Settle deliberately bypasses the provider's Report path: a
+	// failure report there would drop — and close, possibly mid-use —
+	// whatever fresh channel the main loop has cached for id since the
+	// detach.
+	DetachLeg(id string, node StorageNode) (settle func(ok, reportable bool))
+}
+
+// legState is the handshake between one race leg and the race loop that may
+// abandon it. The leg publishes its connected node before sending; an
+// abandoning winner sets abandoned and reads the node. The mutex leaves only
+// two interleavings: the winner sees the loser's exact channel (and
+// quarantines it via DetachLeg), or the loser sees abandoned while it has
+// sent nothing yet and bows out without offloading at all. Without the
+// handshake there is a window — the loser still inside Connect when the race
+// returns — where DetachLeg finds nothing to detach and the loser then parks
+// its channel in the provider's cache with a foreign request about to go out
+// on it.
+type legState struct {
+	mu        sync.Mutex
+	node      StorageNode
+	abandoned bool
+}
+
 // legResult is one leg of a (possibly hedged) offload attempt.
 type legResult struct {
 	id        string
@@ -224,6 +269,9 @@ type legResult struct {
 	err       error
 	lat       time.Duration
 	connected bool // Connect succeeded, so the outcome is reportable
+	// aborted marks a leg that connected but bowed out before sending
+	// because the race had already been abandoned: nothing to report.
+	aborted bool
 }
 
 // ExecuteSplitProvider is ExecuteSplit with per-ship node failover: each
@@ -290,7 +338,7 @@ func (h *Host) ExecuteSplitProvider(sqlText string, prov NodeProvider) (*exec.Re
 					}
 				}
 			} else {
-				win = h.offloadLeg(prov, lat, ship.SQL, id)
+				win = h.offloadLeg(prov, lat, ship.SQL, id, nil)
 				reportLeg(prov, lat, win)
 			}
 			if win.err != nil {
@@ -317,8 +365,11 @@ func (h *Host) ExecuteSplitProvider(sqlText string, prov NodeProvider) (*exec.Re
 }
 
 // offloadLeg runs one offload attempt against id, measuring its latency on
-// the observer's per-node clock.
-func (h *Host) offloadLeg(prov NodeProvider, lat LatencyObserver, sql, id string) legResult {
+// the observer's per-node clock. st (nil outside hedged races) is the
+// abandonment handshake: the leg publishes its node before sending and bows
+// out — before creating an in-flight request anyone would have to quarantine
+// — if the race was decided while it was still connecting.
+func (h *Host) offloadLeg(prov NodeProvider, lat LatencyObserver, sql, id string, st *legState) legResult {
 	var start time.Duration
 	if lat != nil {
 		start = lat.NodeNow(id)
@@ -326,6 +377,18 @@ func (h *Host) offloadLeg(prov NodeProvider, lat LatencyObserver, sql, id string
 	node, err := prov.Connect(id)
 	if err != nil {
 		return legResult{id: id, err: fmt.Errorf("connect %s: %w", id, err)}
+	}
+	if st != nil {
+		st.mu.Lock()
+		st.node = node
+		abandoned := st.abandoned
+		st.mu.Unlock()
+		if abandoned {
+			// Nothing has gone out on the channel: leave it be (cached or
+			// not, it carries no foreign request) and report nothing — an
+			// unsent attempt has no outcome or latency worth feeding back.
+			return legResult{id: id, connected: true, aborted: true}
+		}
 	}
 	res, wire, err := node.Offload(sql)
 	leg := legResult{id: id, res: res, wire: wire, err: err, connected: true}
@@ -362,7 +425,8 @@ func reportLeg(prov NodeProvider, lat LatencyObserver, leg legResult) {
 // hedge leg actually launched.
 func (h *Host) raceOffload(prov NodeProvider, lat LatencyObserver, hedger HedgingProvider, bud *resilience.Budget, sql, primary, hedge string, delay time.Duration) (legResult, bool) {
 	ch := make(chan legResult, 2)
-	go func() { ch <- h.offloadLeg(prov, lat, sql, primary) }()
+	states := map[string]*legState{primary: {}, hedge: {}}
+	go func() { ch <- h.offloadLeg(prov, lat, sql, primary, states[primary]) }()
 
 	hedgeLaunched := false
 	launchHedge := func() {
@@ -370,7 +434,7 @@ func (h *Host) raceOffload(prov NodeProvider, lat LatencyObserver, hedger Hedgin
 			return // budget dry: the race degrades to a plain attempt
 		}
 		hedgeLaunched = true
-		go func() { ch <- h.offloadLeg(prov, lat, sql, hedge) }()
+		go func() { ch <- h.offloadLeg(prov, lat, sql, hedge, states[hedge]) }()
 	}
 	var timer <-chan time.Time
 	if delay <= 0 {
@@ -402,9 +466,41 @@ func (h *Host) raceOffload(prov NodeProvider, lat LatencyObserver, hedger Hedgin
 			}
 			if haveWinner && pending > 0 && !hedger.JoinLoser() {
 				// Abandon the loser: drain and report it off the query path,
-				// releasing the hedge slot when it lands.
+				// releasing the hedge slot when it lands. The handshake below
+				// runs BEFORE the race returns — before the main loop can
+				// Connect to that node again — and leaves exactly two cases:
+				// the loser already published its channel (quarantine that
+				// exact channel, so its in-flight offload finishes privately
+				// and can never share a Send/Recv stream with a later
+				// fragment), or it has not connected yet (it will see
+				// abandoned and bow out without sending, so there is nothing
+				// to quarantine).
+				loser := hedge
+				if winner.id == hedge {
+					loser = primary
+				}
+				st := states[loser]
+				st.mu.Lock()
+				st.abandoned = true
+				loserNode := st.node
+				st.mu.Unlock()
+				var settle func(ok, reportable bool)
+				if loserNode != nil {
+					if det, ok := prov.(LegDetacher); ok {
+						settle = det.DetachLeg(loser, loserNode)
+					}
+				}
 				go func() {
-					reportLeg(prov, lat, <-ch)
+					leg := <-ch
+					switch {
+					case settle != nil:
+						if lat != nil && leg.connected && leg.lat >= 0 {
+							lat.ReportLatency(leg.id, leg.lat)
+						}
+						settle(leg.err == nil, leg.connected)
+					case !leg.aborted:
+						reportLeg(prov, lat, leg)
+					}
 					hedger.HedgeDone()
 				}()
 				for _, l := range legs {

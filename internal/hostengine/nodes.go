@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"ironsafe/internal/pager"
@@ -24,7 +26,7 @@ type LocalNode struct {
 	HostMeter    *simtime.Meter
 	StorageMeter *simtime.Meter
 
-	lastEpoch uint64 // membership epoch stamped on the most recent reply
+	lastEpoch atomic.Uint64 // membership epoch stamped on the most recent reply
 }
 
 // NodeID implements StorageNode.
@@ -40,7 +42,7 @@ func (n *LocalNode) Offload(sql string) (*exec.Result, int64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	n.lastEpoch = n.Server.Epoch()
+	n.lastEpoch.Store(n.Server.Epoch())
 	blob, err := exec.EncodeResult(res)
 	if err != nil {
 		return nil, 0, err
@@ -60,7 +62,7 @@ func (n *LocalNode) Offload(sql string) (*exec.Result, int64, error) {
 }
 
 // ReplyEpoch implements EpochReporter.
-func (n *LocalNode) ReplyEpoch() uint64 { return n.lastEpoch }
+func (n *LocalNode) ReplyEpoch() uint64 { return n.lastEpoch.Load() }
 
 // EpochReporter is implemented by storage nodes whose offload replies carry
 // the cluster membership epoch. The cluster's fencing wrapper compares the
@@ -75,6 +77,13 @@ type RemoteNode struct {
 	ID   string
 	Conn *transport.SecureConn
 
+	// reqMu serializes whole request/response exchanges on the channel.
+	// SecureConn's own mutexes serialize individual frames, but an offload is
+	// a Send+Recv PAIR: two interleaved offloads on one channel would each
+	// receive the other's in-order reply and absorb the wrong fragment's
+	// rows. It also guards lastEpoch, which is only meaningful relative to
+	// the exchange that produced it.
+	reqMu     sync.Mutex
 	lastEpoch uint64 // membership epoch stamped on the most recent reply
 
 	// budget, when set, gates every offload: an exhausted budget refuses
@@ -152,8 +161,11 @@ func (n *RemoteNode) SetBaseIOTimeout(d time.Duration) { n.baseIOTimeout = d }
 // NodeID implements StorageNode.
 func (n *RemoteNode) NodeID() string { return n.ID }
 
-// unbudgetedMicros is the budget-prefix value meaning "no deadline budget"
-// (a prefix of 0 means exhausted and is refused by the storage node).
+// unbudgetedMicros is the budget-prefix value meaning "no deadline budget".
+// Any prefix below the storage node's minimum useful execution slice
+// (storageengine.MinOffloadBudgetMicros) is refused at admission — including
+// the 1µs floor declared for sub-µs remainders, so a nearly-dry budget fails
+// typed at the server instead of burning TEE cycles on an unusable result.
 const unbudgetedMicros = ^uint64(0)
 
 // Offload implements StorageNode. The offload frame leads with an 8-byte
@@ -161,6 +173,8 @@ const unbudgetedMicros = ^uint64(0)
 // admission; a budgeted attempt also clips the channel deadline to the
 // remaining slice.
 func (n *RemoteNode) Offload(sql string) (*exec.Result, int64, error) {
+	n.reqMu.Lock()
+	defer n.reqMu.Unlock()
 	budgetMicros := unbudgetedMicros
 	if n.budget != nil {
 		if n.budget.Exhausted() {
@@ -170,7 +184,7 @@ func (n *RemoteNode) Offload(sql string) (*exec.Result, int64, error) {
 		if us := uint64(rem / time.Microsecond); us > 0 && us < unbudgetedMicros {
 			budgetMicros = us
 		} else {
-			budgetMicros = 1 // sub-µs remainder: declare the smallest live budget
+			budgetMicros = 1 // sub-µs remainder: declared honestly, refused by the server's minimum-slice admission
 		}
 		if slice := n.budget.Slice(n.baseIOTimeout); slice > 0 {
 			n.Conn.SetIOTimeout(slice)
@@ -204,12 +218,18 @@ func (n *RemoteNode) Offload(sql string) (*exec.Result, int64, error) {
 }
 
 // ReplyEpoch implements EpochReporter.
-func (n *RemoteNode) ReplyEpoch() uint64 { return n.lastEpoch }
+func (n *RemoteNode) ReplyEpoch() uint64 {
+	n.reqMu.Lock()
+	defer n.reqMu.Unlock()
+	return n.lastEpoch
+}
 
 // Close ends the channel. A failed goodbye is reported alongside the close
 // error rather than dropped: on a faulted channel it is often the first
 // (and only) signal the peer is gone.
 func (n *RemoteNode) Close() error {
+	n.reqMu.Lock()
+	defer n.reqMu.Unlock()
 	byeErr := n.Conn.Send("bye", nil)
 	return errors.Join(byeErr, n.Conn.Close())
 }

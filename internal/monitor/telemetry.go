@@ -54,7 +54,10 @@ func (m *Monitor) ScanTelemetryReport() []ScanTelemetry {
 // TailTelemetry is one query class's tail-latency summary: exact
 // nearest-rank percentiles over the class's simulated end-to-end latencies
 // (the cost model's deterministic output, so the report is reproducible),
-// plus its hedging activity.
+// plus its hedging activity. Queries counts every query ever reported for
+// the class; the percentiles cover the most recent tailSampleCap of them
+// (the retention window), so a long-running cluster's report tracks current
+// tail behavior instead of averaging over its whole life.
 type TailTelemetry struct {
 	Class     string
 	Queries   int
@@ -64,6 +67,13 @@ type TailTelemetry struct {
 	Hedges    int
 	HedgeWins int
 }
+
+// tailSampleCap bounds each query class's retained latency samples: a ring
+// buffer keeps the newest tailSampleCap observations and overwrites the
+// oldest, so per-class memory is fixed no matter how long the cluster
+// serves. Large enough that every deterministic sweep (tens of queries) is
+// covered exactly.
+const tailSampleCap = 4096
 
 // TailReport is the fleet-wide tail health report: per-class latency
 // distributions plus the gray-failure event counters.
@@ -75,9 +85,12 @@ type TailReport struct {
 	Readmissions int
 }
 
-// tailClass accumulates one class's raw observations.
+// tailClass accumulates one class's raw observations. latencies is a ring
+// buffer capped at tailSampleCap; next is the overwrite cursor once full.
 type tailClass struct {
 	latencies []time.Duration
+	next      int
+	queries   int
 	hedges    int
 	hedgeWins int
 }
@@ -95,7 +108,13 @@ func (m *Monitor) ReportQueryTail(class string, latency time.Duration, hedges, h
 		tc = &tailClass{}
 		m.tailStats[class] = tc
 	}
-	tc.latencies = append(tc.latencies, latency)
+	if len(tc.latencies) < tailSampleCap {
+		tc.latencies = append(tc.latencies, latency)
+	} else {
+		tc.latencies[tc.next] = latency
+		tc.next = (tc.next + 1) % tailSampleCap
+	}
+	tc.queries++
 	tc.hedges += hedges
 	tc.hedgeWins += hedgeWins
 }
@@ -135,7 +154,7 @@ func (m *Monitor) TailReportNow() TailReport {
 		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 		rep.Classes = append(rep.Classes, TailTelemetry{
 			Class:     class,
-			Queries:   len(sorted),
+			Queries:   tc.queries,
 			P50:       nearestRank(sorted, 50),
 			P95:       nearestRank(sorted, 95),
 			P99:       nearestRank(sorted, 99),

@@ -114,3 +114,35 @@ func TestTailReportAggregation(t *testing.T) {
 		t.Fatalf("tail events not replaced: %+v", rep)
 	}
 }
+
+func TestTailSamplesBoundedByRingBuffer(t *testing.T) {
+	// A long-running cluster reports every query: retention must stay fixed
+	// at tailSampleCap, with percentiles covering the newest window and the
+	// cumulative query count intact.
+	m, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := tailSampleCap + 500
+	for i := 0; i < total; i++ {
+		// First 500 reports are slow (1s), the rest fast (1ms): once the
+		// ring wraps, the slow prefix has been overwritten.
+		d := time.Millisecond
+		if i < 500 {
+			d = time.Second
+		}
+		m.ReportQueryTail("scan", d, 0, 0)
+	}
+	tc := m.tailStats["scan"]
+	if len(tc.latencies) != tailSampleCap {
+		t.Fatalf("retained samples = %d, want cap %d", len(tc.latencies), tailSampleCap)
+	}
+	rep := m.TailReportNow()
+	scan := rep.Classes[0]
+	if scan.Queries != total {
+		t.Errorf("Queries = %d, want cumulative %d", scan.Queries, total)
+	}
+	if scan.P99 != time.Millisecond {
+		t.Errorf("p99 = %v, want 1ms — the overwritten slow prefix leaked into the window", scan.P99)
+	}
+}

@@ -185,10 +185,16 @@ func (t *Tracker) HedgeThreshold(id string) time.Duration {
 }
 
 // evaluateEjectionLocked re-runs the cohort outlier rule: a node with enough
-// samples whose EWMA exceeds EjectFactor× the cohort median (and the
-// absolute EjectFloor) is soft-ejected; an ejected node whose EWMA falls
-// back under ReadmitFactor× the median (hysteresis) is readmitted. Down
-// nodes are outside the cohort — fail-stop handling owns them.
+// samples whose EWMA exceeds EjectFactor× the median of the REST of the
+// cohort (and the absolute EjectFloor) is soft-ejected; an ejected node
+// whose EWMA falls back under ReadmitFactor× that median (hysteresis) is
+// readmitted. Each candidate is excluded from its own comparison median —
+// including it would let a slow node inflate the very benchmark it is judged
+// against (in a 2-node cohort the inclusive median (fast+slow)/2 makes
+// ewma > EjectFactor×median unsatisfiable for any factor ≥ 2, so gray
+// failures would never eject; even larger even-sized cohorts get their
+// median dragged toward the outlier). Down nodes are outside the cohort —
+// fail-stop handling owns them.
 func (t *Tracker) evaluateEjectionLocked() {
 	var cohort []int64
 	for _, s := range t.nodes {
@@ -201,17 +207,12 @@ func (t *Tracker) evaluateEjectionLocked() {
 		return // nothing to compare against
 	}
 	sort.Slice(cohort, func(i, j int) bool { return cohort[i] < cohort[j] })
-	var median int64
-	if n := len(cohort); n%2 == 1 {
-		median = cohort[n/2]
-	} else {
-		median = (cohort[n/2-1] + cohort[n/2]) / 2
-	}
 	floor := int64(t.cfg.EjectFloor)
 	for _, s := range t.nodes {
 		if s.down || s.samples == 0 {
 			continue
 		}
+		median := medianExcluding(cohort, s.ewma)
 		if !s.ejected {
 			if s.samples >= t.cfg.EjectMinSamples &&
 				s.ewma > floor &&
@@ -227,6 +228,23 @@ func (t *Tracker) evaluateEjectionLocked() {
 			}
 		}
 	}
+}
+
+// medianExcluding computes the median of sorted (ascending) with one
+// occurrence of v — the candidate's own EWMA, guaranteed present — removed.
+func medianExcluding(sorted []int64, v int64) int64 {
+	i := sort.Search(len(sorted), func(j int) bool { return sorted[j] >= v })
+	at := func(k int) int64 {
+		if k >= i {
+			k++
+		}
+		return sorted[k]
+	}
+	n := len(sorted) - 1
+	if n%2 == 1 {
+		return at(n / 2)
+	}
+	return (at(n/2-1) + at(n/2)) / 2
 }
 
 // Ejected reports whether id is currently soft-ejected by the latency

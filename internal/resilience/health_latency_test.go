@@ -83,6 +83,49 @@ func TestEjectionAndReadmission(t *testing.T) {
 	}
 }
 
+func TestEjectionTwoNodeCohort(t *testing.T) {
+	// Regression: the candidate's own EWMA must not inflate its comparison
+	// median. With an inclusive median a 2-node cohort could never eject —
+	// slow > EjectFactor×(fast+slow)/2 is unsatisfiable for any factor ≥ 2 —
+	// so a gray node in a 2-replica deployment would drag queries forever.
+	tr := NewTracker(grayTestConfig())
+	for i := 0; i < 4; i++ {
+		tr.ReportLatency("fast-1", 2*time.Millisecond)
+		tr.ReportLatency("slow-1", 20*time.Millisecond)
+	}
+	if !tr.Ejected("slow-1") {
+		t.Fatalf("2-node cohort: slow node 10× over its peer must be ejected (ewma=%v)", tr.EWMA("slow-1"))
+	}
+	if tr.Ejected("fast-1") {
+		t.Fatal("fast peer must not be ejected (its comparison median is the slow node)")
+	}
+	for i := 0; i < 12 && tr.Ejected("slow-1"); i++ {
+		tr.ReportLatency("slow-1", 2*time.Millisecond)
+	}
+	if tr.Ejected("slow-1") {
+		t.Fatalf("recovered node must be readmitted, ewma=%v", tr.EWMA("slow-1"))
+	}
+}
+
+func TestEjectionEvenCohortMedianExcludesSelf(t *testing.T) {
+	// 4-node cohort, one outlier: the inclusive even-count median would be
+	// (fast+slow)/2 = 11ms, putting the 20ms outlier under 4×median and
+	// hiding it. Against the median of the other three (2ms) it ejects.
+	tr := NewTracker(grayTestConfig())
+	for i := 0; i < 4; i++ {
+		tr.ReportLatency("fast-1", 2*time.Millisecond)
+		tr.ReportLatency("fast-2", 2*time.Millisecond)
+		tr.ReportLatency("fast-3", 2*time.Millisecond)
+		tr.ReportLatency("slow-1", 20*time.Millisecond)
+	}
+	if !tr.Ejected("slow-1") {
+		t.Fatalf("even cohort: outlier must not drag its own comparison median (ewma=%v)", tr.EWMA("slow-1"))
+	}
+	if tr.Ejected("fast-1") || tr.Ejected("fast-2") || tr.Ejected("fast-3") {
+		t.Fatal("fast cohort must not be ejected")
+	}
+}
+
 func TestEjectionHysteresis(t *testing.T) {
 	// A node hovering between ReadmitFactor× and EjectFactor× the median
 	// keeps its current state — no flapping at the boundary.

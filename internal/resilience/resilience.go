@@ -91,13 +91,15 @@ type Config struct {
 	// HedgeMaxConcurrent caps cluster-wide in-flight hedge legs so hedging
 	// cannot amplify an overload. Defaults to 2.
 	HedgeMaxConcurrent int
-	// EjectFactor soft-ejects a node whose EWMA latency exceeds
-	// EjectFactor× the cohort median (deprioritized, probed, readmitted —
-	// distinct from the fail-stop down-set). Defaults to 4.
+	// EjectFactor soft-ejects a node whose EWMA latency exceeds EjectFactor×
+	// the median of the rest of the cohort (deprioritized, probed,
+	// readmitted — distinct from the fail-stop down-set). The candidate's
+	// own EWMA is excluded from its comparison median so an outlier cannot
+	// inflate the benchmark it is judged against. Defaults to 4.
 	EjectFactor int
 	// ReadmitFactor readmits an ejected node once its EWMA falls back under
-	// ReadmitFactor× the cohort median (hysteresis so a node on the
-	// boundary does not flap). Defaults to 2.
+	// ReadmitFactor× the median of the rest of the cohort (hysteresis so a
+	// node on the boundary does not flap). Defaults to 2.
 	ReadmitFactor int
 	// EjectMinSamples is the minimum latency reports a node needs before it
 	// can be ejected (no ejecting on one slow outlier). Defaults to 3.

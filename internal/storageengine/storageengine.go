@@ -293,6 +293,15 @@ func (s *Server) Serve(ln net.Listener) error {
 // forever.
 const PreambleTimeout = 5 * time.Second
 
+// MinOffloadBudgetMicros is the smallest remaining deadline budget (µs) an
+// offload is admitted with. Below this no fragment can decrypt, execute, and
+// ship rows before the host-side slice armed from the same budget expires —
+// the work would be wasted TEE cycles. Admission compares against this
+// minimum rather than only zero: the host floors sub-µs remainders to 1µs
+// (0 means exhausted), so a zero-only check could never fire against a
+// well-behaved host and the server-side enforcement would be dead code.
+const MinOffloadBudgetMicros = 1000
+
 // ServeConn serves one host connection — exported so single-process
 // deployments (and the chaos harness) can drive the full wire protocol over
 // in-process pipes, optionally wrapped with fault injectors.
@@ -336,16 +345,17 @@ func (s *Server) ServeConn(conn net.Conn) {
 			// Offload frames carry an 8-byte little-endian deadline-budget
 			// prefix (remaining µs; math.MaxUint64 = unbudgeted) ahead of the
 			// SQL. The storage node enforces the budget at admission: a
-			// fragment arriving with nothing left gets a typed "budget"
-			// refusal instead of burning TEE cycles on a result the host can
-			// no longer use. (The in-flight slice itself is bounded by the
-			// channel deadline the host arms from the same budget.)
+			// fragment arriving with less than the minimum useful execution
+			// slice gets a typed "budget" refusal instead of burning TEE
+			// cycles on a result the host can no longer use. (The in-flight
+			// slice itself is bounded by the channel deadline the host arms
+			// from the same budget.)
 			if len(payload) < 8 {
 				sc.Send("error", []byte("offload frame too short for budget prefix"))
 				continue
 			}
 			budgetMicros := binary.LittleEndian.Uint64(payload[:8])
-			if budgetMicros == 0 {
+			if budgetMicros < MinOffloadBudgetMicros {
 				sc.Send("budget", nil)
 				continue
 			}

@@ -181,6 +181,24 @@ func TestServeOffloadOverTCP(t *testing.T) {
 	if typ != "budget" {
 		t.Errorf("exhausted-budget offload = %q, want budget refusal", typ)
 	}
+	// So is one below the minimum useful execution slice — the host floors
+	// sub-µs remainders to 1µs, so a zero-only check would never fire
+	// against a well-behaved host.
+	low := make([]byte, 8)
+	binary.LittleEndian.PutUint64(low, MinOffloadBudgetMicros-1)
+	sc.Send("offload", append(low, "SELECT a FROM t"...))
+	typ, _, _ = sc.Recv()
+	if typ != "budget" {
+		t.Errorf("below-minimum budget offload = %q, want budget refusal", typ)
+	}
+	// Exactly the minimum is admitted and executes.
+	min := make([]byte, 8)
+	binary.LittleEndian.PutUint64(min, MinOffloadBudgetMicros)
+	sc.Send("offload", append(min, "SELECT a FROM t"...))
+	typ, _, _ = sc.Recv()
+	if typ != "result" {
+		t.Errorf("minimum-budget offload = %q, want result", typ)
+	}
 	// A frame too short to carry the budget prefix is malformed.
 	sc.Send("offload", []byte("SELECT"))
 	typ, payload, _ = sc.Recv()
