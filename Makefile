@@ -7,7 +7,7 @@ GO ?= go
 # name explicitly. `make race` extends it to the whole module.
 RACE_PKGS = ./internal/monitor ./internal/engine ./internal/pager ./internal/simtime ./internal/securestore
 
-.PHONY: all build test race race-tier1 vet lint vet-json vet-bench chaos chaos-race crashsweep crashsweep-race rebuildsweep rebuildsweep-race graysweep graysweep-race benchjson benchsmoke check clean
+.PHONY: all build test race race-tier1 vet lint vet-json vet-bench chaos chaos-race crashsweep crashsweep-race rebuildsweep rebuildsweep-race graysweep graysweep-race ingestsweep ingestsweep-race benchjson benchsmoke check clean
 
 all: check
 
@@ -96,6 +96,18 @@ graysweep:
 graysweep-race:
 	$(GO) test -race -count=1 -run 'Gray|Budget|Hedge|Latency|Eject|Overload|Queue|Pressure|Tail' ./internal/chaos ./internal/resilience ./internal/hostengine ./internal/ctl ./internal/monitor
 
+# ingestsweep runs the durable-ingest suite (see DESIGN.md, "Streaming
+# ingest & the acked-write contract"): the group-commit pipeline's unit and
+# wire tests, a power cut at every write boundary of the streaming write
+# path, node kills mid-batch with restart + readmission, concurrent ingest
+# beside browned-out reads, audit-trail determinism, and the earlyack
+# analyzer that pins ack-after-commit at the source level.
+ingestsweep:
+	$(GO) test -count=1 -run 'Ingest|GroupCommit|Earlyack|StatementSweep' ./internal/ingest ./internal/chaos ./internal/securestore ./internal/analysis .
+
+ingestsweep-race:
+	$(GO) test -race -count=1 -run 'Ingest|GroupCommit|Earlyack|StatementSweep' ./internal/ingest ./internal/chaos ./internal/securestore ./internal/analysis .
+
 # benchjson regenerates the machine-readable benchmark record so the perf
 # trajectory (per-query times, scs breakdown, scan-pipeline counters) is
 # tracked across PRs.
@@ -109,7 +121,7 @@ benchsmoke:
 	$(GO) run ./cmd/ironsafe-bench -exp json -sf 0.002 -queries 1,6 -json /tmp/bench_smoke.json
 	$(GO) test -count=1 -run 'BatchedMatchesSequential|CollectResults' ./internal/bench
 
-check: build vet lint test race-tier1 chaos-race crashsweep-race rebuildsweep-race graysweep-race
+check: build vet lint test race-tier1 chaos-race crashsweep-race rebuildsweep-race graysweep-race ingestsweep-race
 
 clean:
 	$(GO) clean ./...

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"ironsafe/internal/ctl"
+	"ironsafe/internal/ingest"
 	"ironsafe/internal/resilience"
 	"ironsafe/internal/simtime"
 	"ironsafe/internal/storageengine"
@@ -142,6 +143,22 @@ func main() {
 		}
 		return map[string]int{"rows": len(res.Rows)}, nil
 	})
+	// Durable streaming ingest: DML records stream in over ctl, coalesce
+	// into group commits, and ack only once their batch's journal record
+	// anchors them on this node's store. This is the producer's loading
+	// path, so like "exec" it runs without a policy gate; policy-checked
+	// ingest goes through the host, which fronts the monitor.
+	pipe, err := ingest.New(ingest.Config{
+		Nodes: []ingest.Node{ingest.NewServerNode(srv)},
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "ironsafe-storage: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer pipe.Close()
+	ingest.RegisterCtl(cs, pipe)
 
 	ctlLn, err := net.Listen("tcp", *ctlAddr)
 	if err != nil {

@@ -1,0 +1,89 @@
+package ironsafe
+
+import (
+	"testing"
+
+	"ironsafe/internal/audit"
+	"ironsafe/internal/ingest"
+)
+
+// ingestAuditRun builds a fresh IronSafe cluster and streams a fixed record
+// sequence (including one policy denial) through its ingest pipeline, then
+// returns the monitor's audit trail.
+func ingestAuditRun(t *testing.T) []audit.Entry {
+	t.Helper()
+	c, err := NewCluster(Config{Mode: IronSafe, StorageNodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetAccessPolicy("read :- sessionKeyIs(Ka)\nwrite :- sessionKeyIs(Ka)"); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range c.Storage {
+		if _, err := s.DB().Execute("CREATE TABLE ev (id INTEGER, note TEXT)"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := c.IngestPipeline(ingest.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for i, rec := range []ingest.Record{
+		{Client: "Ka", SQL: "INSERT INTO ev (id, note) VALUES (1, 'a'), (2, 'b')"},
+		{Client: "Mallory", SQL: "INSERT INTO ev (id, note) VALUES (3, 'x')"}, // denied
+		{Client: "Ka", SQL: "UPDATE ev SET note = 'c' WHERE id = 2"},
+		{Client: "Ka", SQL: "DELETE FROM ev WHERE id = 1"},
+	} {
+		ack, err := p.Submit(rec)
+		if rec.Client == "Mallory" {
+			if err == nil {
+				t.Fatalf("record %d: unauthorized write acked", i)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if ack.Seq == 0 {
+			t.Fatalf("record %d: ack carries no commit anchor", i)
+		}
+	}
+	return c.Monitor.AuditLog().Entries()
+}
+
+// TestIngestAuditDeterministic: the audit trail of an ingest run is a
+// compliance artifact, so two identical runs on fresh clusters must produce
+// identical trails — sequence numbers, timestamps (the monitor's logical
+// clock), actors, kinds, and details all byte-equal.
+func TestIngestAuditDeterministic(t *testing.T) {
+	a := ingestAuditRun(t)
+	b := ingestAuditRun(t)
+	if len(a) == 0 {
+		t.Fatal("ingest run produced no audit entries")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("audit trails differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Seq != y.Seq || x.Timestamp != y.Timestamp || x.Actor != y.Actor ||
+			x.Kind != y.Kind || x.Detail != y.Detail {
+			t.Errorf("audit entry %d diverged:\n  run1 %+v\n  run2 %+v", i, x, y)
+		}
+	}
+}
+
+// TestIngestPipelineModeGate: host-owning modes have no storage-side store to
+// anchor acks in, so the cluster refuses to assemble a pipeline for them.
+func TestIngestPipelineModeGate(t *testing.T) {
+	for _, mode := range []Mode{HostOnlyNonSecure, HostOnlySecure} {
+		c, err := NewCluster(Config{Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.IngestPipeline(ingest.Config{}); err == nil {
+			t.Errorf("mode %s assembled an ingest pipeline without a storage-side store", mode)
+		}
+	}
+}

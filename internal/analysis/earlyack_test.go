@@ -1,0 +1,22 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ironsafe/internal/analysis"
+	"ironsafe/internal/analysis/analysistest"
+)
+
+func TestEarlyackUndominatedDeliveries(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Earlyack, "internal/ingest/earlyack")
+}
+
+func TestEarlyackAllowDirective(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Earlyack, "internal/ingest/earlyackallow")
+}
+
+// TestEarlyackScopedToIngest pins that the contract governs the ingest
+// package only: a deliver method elsewhere is not an ingest ack.
+func TestEarlyackScopedToIngest(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Earlyack, "earlyackout")
+}

@@ -1,0 +1,14 @@
+// Package earlyackout lives outside internal/ingest: the acked-write
+// contract is the ingest pipeline's, so deliver calls elsewhere are not the
+// analyzer's business. The test declares no wants.
+package earlyackout
+
+type pending struct {
+	ch chan int
+}
+
+func (pd *pending) deliver(a int) { pd.ch <- a }
+
+func notIngest(pd *pending) {
+	pd.deliver(1)
+}

@@ -1,0 +1,61 @@
+// Package earlyack seeds ack deliveries that are not dominated by a checked
+// durable commit — the data-loss bug class the earlyack analyzer outlaws.
+package earlyack
+
+type pending struct {
+	ch chan int
+}
+
+func (pd *pending) deliver(a int) { pd.ch <- a }
+func (pd *pending) fail(err error) {
+	_ = err
+	pd.ch <- -1
+}
+
+type node interface {
+	Apply([]string) error
+	Commit() error
+}
+
+// ackOnEnqueue acks with no commit anywhere in sight.
+func ackOnEnqueue(pd *pending) {
+	pd.deliver(1) // want `ack delivered without a checked durable commit`
+}
+
+// ackBeforeCommit sends the ack first and commits after — a crash between the
+// two loses an acked write.
+func ackBeforeCommit(pd *pending, n node, stmts []string) error {
+	pd.deliver(1) // want `ack delivered without a checked durable commit`
+	return n.Apply(stmts)
+}
+
+// ackOnUncheckedCommit discards the commit error before acking.
+func ackOnUncheckedCommit(pd *pending, n node, stmts []string) {
+	_ = n.Apply(stmts)
+	pd.deliver(1) // want `ack delivered without a checked durable commit`
+}
+
+// ackAfterCheckedApply is the sanctioned shape: apply, check, then ack.
+func ackAfterCheckedApply(pd *pending, n node, stmts []string) {
+	err := n.Apply(stmts)
+	if err == nil {
+		pd.deliver(1)
+		return
+	}
+	pd.fail(err)
+}
+
+// ackAfterInitCommit checks the commit inside the if-init.
+func ackAfterInitCommit(pd *pending, n node) error {
+	if err := n.Commit(); err != nil {
+		pd.fail(err)
+		return err
+	}
+	pd.deliver(1)
+	return nil
+}
+
+// nacksNeedNoCommit: failing a record is always allowed.
+func nacksNeedNoCommit(pd *pending, err error) {
+	pd.fail(err)
+}

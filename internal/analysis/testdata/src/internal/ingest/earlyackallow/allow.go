@@ -1,0 +1,14 @@
+// Package earlyackallow seeds a flagged ack delivery suppressed by an allow
+// directive with a rationale; the test declares no wants.
+package earlyackallow
+
+type pending struct {
+	ch chan int
+}
+
+func (pd *pending) deliver(a int) { pd.ch <- a }
+
+func replayAck(pd *pending) {
+	//ironsafe:allow earlyack -- replaying an ack recorded by a commit that already anchored durably
+	pd.deliver(1)
+}

@@ -1,0 +1,28 @@
+package bench
+
+import "testing"
+
+// TestIngestSeriesInvariants: the throughput numbers move run to run, but the
+// contracts underneath them do not — every record acks, every batch costs
+// exactly one RPMB anchor, and the latency percentiles are well-formed.
+func TestIngestSeriesInvariants(t *testing.T) {
+	res, err := Ingest(3, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 3*20 {
+		t.Errorf("acked %d records, want %d (an unacked record is a lost write)", res.Records, 3*20)
+	}
+	if res.Batches == 0 || int64(res.Batches) != res.RPMBWrites {
+		t.Errorf("%d batches over %d RPMB writes, want exactly one anchor per batch", res.Batches, res.RPMBWrites)
+	}
+	if res.RecordsPerRPMB < 1 {
+		t.Errorf("records per RPMB write = %.2f, want >= 1", res.RecordsPerRPMB)
+	}
+	if res.AckP95Micros < res.AckP50Micros || res.AckP95Micros <= 0 {
+		t.Errorf("ack percentiles malformed: p50 %.0fus, p95 %.0fus", res.AckP50Micros, res.AckP95Micros)
+	}
+	if res.RecordsPerSecond <= 0 {
+		t.Errorf("records/s = %f", res.RecordsPerSecond)
+	}
+}

@@ -34,6 +34,9 @@ type Results struct {
 	// events observed during the scs run.
 	TailEjections    int `json:"tail_ejections"`
 	TailReadmissions int `json:"tail_readmissions"`
+	// Ingest is the streaming-ingest throughput series: acked-write rate,
+	// ack latency percentiles, and group-commit RPMB amortization.
+	Ingest *IngestResult `json:"ingest"`
 }
 
 // TailClass is one query class's tail-latency record: exact nearest-rank
@@ -149,5 +152,10 @@ func CollectResults(sf float64, queries []int) (*Results, error) {
 			res.TailReadmissions = tail.Readmissions
 		}
 	}
+	ing, err := Ingest(4, 50)
+	if err != nil {
+		return nil, fmt.Errorf("results ingest: %w", err)
+	}
+	res.Ingest = ing
 	return res, nil
 }

@@ -21,8 +21,11 @@ import (
 	"time"
 
 	"ironsafe"
+	"ironsafe/internal/ctl"
 	"ironsafe/internal/faultinject"
 	"ironsafe/internal/hostengine"
+	"ironsafe/internal/ingest"
+	"ironsafe/internal/monitor"
 	"ironsafe/internal/resilience"
 	"ironsafe/internal/securestore"
 	"ironsafe/internal/sql/exec"
@@ -174,6 +177,20 @@ func classify(err error) string {
 		return "channel-framing"
 	case errors.Is(err, faultinject.ErrInjected):
 		return "injected"
+	// Write-path classes: the ingest sweep demands that every refusal on the
+	// streaming write path is as typed as the read path's.
+	case errors.Is(err, ctl.ErrOverloaded):
+		return "overloaded"
+	case errors.Is(err, monitor.ErrDenied):
+		return "denied"
+	case errors.Is(err, ingest.ErrNotDML):
+		return "not-dml"
+	case errors.Is(err, ingest.ErrClosed):
+		return "ingest-closed"
+	case errors.Is(err, ingest.ErrDiverged):
+		return "ingest-diverged"
+	case errors.Is(err, securestore.ErrStoreFailed):
+		return "store-failed"
 	default:
 		return "untyped"
 	}

@@ -1,0 +1,648 @@
+// Ingest-under-chaos sweep: the acked-write half of the crash suite.
+//
+// RunIngest drives the durable streaming-ingest pipeline through three
+// scripted phases and folds them into one per-seed byte-identical digest:
+//
+//   - Phase A (concurrency + brown-out): multiple clients stream policy-
+//     authorized records into a two-node IronSafe cluster while TPC-H reads
+//     run concurrently over brown-out-injected channels (Slow/Stall). Reads
+//     must never hang, never return wrong rows, never fail untyped — and a
+//     snapshot probe must never observe a torn multi-row insert.
+//   - Phase B (power-cut sweep): a single submitter streams a DML workload
+//     through the pipeline while a power cut is armed at EVERY device-write
+//     boundary, clean and torn. Recovery must land on a record boundary:
+//     every acked record survives, the interrupted record is all-or-nothing,
+//     catalog included.
+//   - Phase C (node kills mid-batch): the authority and then the replica are
+//     power-cut mid-batch, restarted, and readmitted via NodeRecovered; the
+//     pipeline must reconcile from its batch log and finish with every
+//     record acked exactly once and both nodes logically identical.
+package chaos
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ironsafe"
+	"ironsafe/internal/engine"
+	"ironsafe/internal/faultinject"
+	"ironsafe/internal/ingest"
+	"ironsafe/internal/pager"
+	"ironsafe/internal/securestore"
+	"ironsafe/internal/simtime"
+	"ironsafe/internal/sql/ast"
+	"ironsafe/internal/sql/exec"
+	"ironsafe/internal/storageengine"
+	"ironsafe/internal/tee/trustzone"
+	"ironsafe/internal/tpch"
+)
+
+// ingestClientKey gets the write rule in ingestAccessPolicy; the chaos read
+// client keeps its read-only grant, so ingest runs under a real write
+// authorization and the concurrent reads under a real read one.
+const (
+	ingestClientKey    = "ingestclient"
+	ingestAccessPolicy = "read :- sessionKeyIs(chaosclient)\nwrite :- sessionKeyIs(ingestclient)"
+)
+
+// IngestConfig scripts one ingest-under-chaos sweep.
+type IngestConfig struct {
+	// Seed drives payloads, fault schedules, and torn-write offsets.
+	Seed uint64
+	// Clients is the phase-A concurrent submitter count (0 means 4).
+	Clients int
+	// Records is how many records each phase-A client streams (0 means 6):
+	// Records-1 three-row INSERTs followed by one whole-range UPDATE.
+	Records int
+	// Reads is how many TPC-H queries run concurrently in phase A (0 = 12).
+	Reads int
+	// Tear also sweeps phase B with every k-th write torn mid-block.
+	Tear bool
+	// QueryTimeout is the hang watchdog (0 means 30s).
+	QueryTimeout time.Duration
+	// ScaleFactor is the TPC-H volume for phase A (0 means 0.001).
+	ScaleFactor float64
+}
+
+// IngestReport is the full sweep record.
+type IngestReport struct {
+	// Phase A: every submitted record must ack (Nacked must be 0), and the
+	// snapshot probe must never observe a row count that is not a whole
+	// number of atomic inserts (TornReads must be 0).
+	Acked, Nacked                               int
+	Batches, Coalesced                          uint64
+	ReadsOK, ReadsFailed, WrongReads, TornReads int
+	// Phase B mirrors SweepReport, driven through the ingest write path.
+	Writes, Points, LandedOld, LandedNew int
+	// Phase C: node kills ridden out via restart + NodeRecovered.
+	Kills int
+	// Invariant counters across all phases (must be zero).
+	Hangs, Untyped int
+	// Digest commits to every deterministic outcome of all three phases;
+	// byte-identical across runs with the same config.
+	Digest string
+}
+
+func (c *IngestConfig) fill() {
+	if c.Clients == 0 {
+		c.Clients = 4
+	}
+	if c.Records == 0 {
+		c.Records = 6
+	}
+	if c.Reads == 0 {
+		c.Reads = 12
+	}
+	if c.QueryTimeout == 0 {
+		c.QueryTimeout = 30 * time.Second
+	}
+	if c.ScaleFactor == 0 {
+		c.ScaleFactor = 0.001
+	}
+}
+
+// RunIngest executes the sweep, failing on the first broken invariant.
+func RunIngest(cfg IngestConfig) (*IngestReport, error) {
+	cfg.fill()
+	rep := &IngestReport{}
+	acc := sha256.New()
+	if err := runIngestPhaseA(&cfg, rep, acc); err != nil {
+		return nil, err
+	}
+	if err := runIngestPhaseB(&cfg, rep, acc); err != nil {
+		return nil, err
+	}
+	if err := runIngestPhaseC(&cfg, rep, acc); err != nil {
+		return nil, err
+	}
+	rep.Digest = hex.EncodeToString(acc.Sum(nil))
+	return rep, nil
+}
+
+// ingestPayload deterministically derives record payload text.
+func ingestPayload(seed uint64, client, rec, row int) string {
+	h := sha256.Sum256([]byte{
+		byte(seed), byte(seed >> 8), byte(seed >> 16), byte(seed >> 24),
+		byte(seed >> 32), byte(seed >> 40), byte(seed >> 48), byte(seed >> 56),
+		byte(client), byte(rec), byte(row), 0xA7,
+	})
+	return hex.EncodeToString(h[:8])
+}
+
+// ingestTableDigest canonically hashes a node's ingest table: all rows,
+// rendered and sorted, so two logically identical nodes digest identically
+// regardless of heap layout or commit grouping.
+func ingestTableDigest(db *engine.DB, table string) (string, error) {
+	res, err := db.Execute("SELECT * FROM " + table)
+	if err != nil {
+		return "", err
+	}
+	lines := make([]string, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.String()
+		}
+		lines = append(lines, strings.Join(parts, "|"))
+	}
+	sort.Strings(lines)
+	sum := sha256.Sum256([]byte(strings.Join(lines, "\n")))
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// ingestBrownOutRules arm bounded Slow faults plus a couple of stalls on the
+// primary's channel legs — the read path browns out while ingest (in-process)
+// keeps committing. The sequential reader is the only consumer of these fault
+// streams, so their schedule stays deterministic under concurrent ingest.
+func ingestBrownOutRules() []faultinject.Rule {
+	return []faultinject.Rule{
+		{Site: "conn:storage-01:read", Class: faultinject.Slow, Prob: 0.5, MaxCount: 20},
+		{Site: "conn:storage-01:write", Class: faultinject.Slow, Prob: 0.5, MaxCount: 20},
+		{Site: "conn:storage-01:read", Class: faultinject.Stall, Prob: 0.05, After: 4, MaxCount: 2},
+	}
+}
+
+// runIngestPhaseA: concurrent multi-client ingest + TPC-H reads + brown-out.
+// Clients write disjoint id ranges, so the final table state is independent
+// of commit interleaving and the phase digests deterministically.
+func runIngestPhaseA(cfg *IngestConfig, rep *IngestReport, acc hash.Hash) error {
+	data := tpch.Generate(cfg.ScaleFactor)
+	base := &Config{Mode: ironsafe.IronSafe, Nodes: 2}
+	base.fill()
+
+	// Fault-free reference for the concurrent read mix.
+	ref, err := newCluster(base, nil)
+	if err != nil {
+		return fmt.Errorf("ingest sweep: reference cluster: %w", err)
+	}
+	if err := ref.LoadTPCHData(data); err != nil {
+		return err
+	}
+	if err := ref.SetAccessPolicy(ingestAccessPolicy); err != nil {
+		return err
+	}
+	refSession := ref.NewSession(clientKey)
+	expected := make([]string, len(QueryMix))
+	for i, qn := range QueryMix {
+		r, err := refSession.Query(tpch.Queries[qn])
+		if err != nil {
+			return fmt.Errorf("ingest sweep: reference q%d: %w", qn, err)
+		}
+		expected[i] = digestRows(r.Result)
+	}
+
+	// Cluster under ingest + brown-out.
+	plan := faultinject.NewPlan(cfg.Seed, ingestBrownOutRules()...)
+	c, err := newCluster(base, plan)
+	if err != nil {
+		return fmt.Errorf("ingest sweep: cluster: %w", err)
+	}
+	if err := c.LoadTPCHData(data); err != nil {
+		return err
+	}
+	if err := c.SetAccessPolicy(ingestAccessPolicy); err != nil {
+		return err
+	}
+	// The ingest table exists on every node: replicas apply the same batches.
+	for _, s := range c.Storage {
+		if _, err := s.DB().Execute("CREATE TABLE ingest_ev (id INTEGER, client TEXT, note TEXT)"); err != nil {
+			return err
+		}
+	}
+	pipe, err := c.IngestPipeline(ingest.Config{BatchMax: 8, QueueMax: 1024})
+	if err != nil {
+		return err
+	}
+	defer pipe.Close()
+
+	// Writers: each client streams its records in order; ids are disjoint.
+	type recOutcome struct {
+		ok       bool
+		class    string
+		affected int
+	}
+	outcomes := make([][]recOutcome, cfg.Clients)
+	var wg sync.WaitGroup
+	for ci := 0; ci < cfg.Clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			name := fmt.Sprintf("c%02d", ci)
+			for ri := 0; ri < cfg.Records; ri++ {
+				var sql string
+				if ri < cfg.Records-1 {
+					b := ci*100000 + ri*10
+					sql = fmt.Sprintf(
+						"INSERT INTO ingest_ev (id, client, note) VALUES (%d, '%s', '%s'), (%d, '%s', '%s'), (%d, '%s', '%s')",
+						b, name, ingestPayload(cfg.Seed, ci, ri, 0),
+						b+1, name, ingestPayload(cfg.Seed, ci, ri, 1),
+						b+2, name, ingestPayload(cfg.Seed, ci, ri, 2))
+				} else {
+					sql = fmt.Sprintf("UPDATE ingest_ev SET note = '%s' WHERE client = '%s'",
+						ingestPayload(cfg.Seed, ci, ri, 0), name)
+				}
+				ack, err := pipe.Submit(ingest.Record{Client: ingestClientKey, SQL: sql})
+				o := recOutcome{ok: err == nil, class: classify(err)}
+				if err == nil {
+					o.affected = ack.Affected
+				}
+				outcomes[ci] = append(outcomes[ci], o)
+			}
+		}(ci)
+	}
+
+	// Concurrent reader: the TPC-H mix under brown-out, with the hang
+	// watchdog, plus the torn-batch snapshot probe between queries.
+	session := c.NewSession(clientKey)
+	for qi := 0; qi < cfg.Reads; qi++ {
+		mix := qi % len(QueryMix)
+		type qr struct {
+			res *ironsafe.QueryResult
+			err error
+		}
+		ch := make(chan qr, 1)
+		go func() {
+			r, err := session.Query(tpch.Queries[QueryMix[mix]])
+			ch <- qr{r, err}
+		}()
+		select {
+		case r := <-ch:
+			if r.err == nil {
+				rep.ReadsOK++
+				if digestRows(r.res.Result) != expected[mix] {
+					rep.WrongReads++
+				}
+			} else {
+				rep.ReadsFailed++
+				if classify(r.err) == "untyped" {
+					rep.Untyped++
+				}
+			}
+		case <-time.After(cfg.QueryTimeout): //ironsafe:allow wallclock -- hang watchdog, the invariant under test
+			rep.Hangs++
+		}
+		// Snapshot probe: mid-batch state must never be visible, so a torn
+		// multi-row insert would betray itself as a count that is not a
+		// multiple of 3 (the UPDATE records do not change counts).
+		for _, s := range c.Storage {
+			res, err := s.DB().Execute("SELECT count(*) FROM ingest_ev")
+			if err != nil {
+				return fmt.Errorf("ingest sweep: snapshot probe: %w", err)
+			}
+			if n := res.Rows[0][0].AsInt(); n%3 != 0 {
+				rep.TornReads++
+			}
+		}
+	}
+
+	// Wait out the writers, watchdog-bounded: an acked-write pipeline that
+	// hangs under brown-out is as broken as one that loses data.
+	writersDone := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(writersDone)
+	}()
+	select {
+	case <-writersDone:
+	case <-time.After(cfg.QueryTimeout): //ironsafe:allow wallclock -- hang watchdog, the invariant under test
+		rep.Hangs++
+		return errors.New("ingest sweep: phase A writers hung")
+	}
+
+	// Per-client outcome digest (client-ordered, so concurrency-independent).
+	for ci := range outcomes {
+		for ri, o := range outcomes[ci] {
+			if o.ok {
+				rep.Acked++
+			} else {
+				rep.Nacked++
+				if o.class == "untyped" {
+					rep.Untyped++
+				}
+			}
+			fmt.Fprintf(acc, "A c%02d r%02d ok=%t class=%s affected=%d\n", ci, ri, o.ok, o.class, o.affected)
+		}
+	}
+	st := pipe.Stats()
+	rep.Batches, rep.Coalesced = st.Batches, st.Coalesced
+
+	// Acked-set == recovered-set: every acked insert's rows are present, on
+	// every node, and the replicas agree byte-for-byte logically.
+	wantRows := int64(cfg.Clients * 3 * (cfg.Records - 1))
+	digests := make([]string, len(c.Storage))
+	for i, s := range c.Storage {
+		res, err := s.DB().Execute("SELECT count(*) FROM ingest_ev")
+		if err != nil {
+			return err
+		}
+		if n := res.Rows[0][0].AsInt(); n != wantRows {
+			return fmt.Errorf("ingest sweep: node %d holds %d rows, want %d (acked writes lost or duplicated)", i, n, wantRows)
+		}
+		if digests[i], err = ingestTableDigest(s.DB(), "ingest_ev"); err != nil {
+			return err
+		}
+		if digests[i] != digests[0] {
+			return fmt.Errorf("ingest sweep: replica %d diverged from the authority", i)
+		}
+	}
+	fmt.Fprintf(acc, "A final %s\n", digests[0])
+	return nil
+}
+
+// ingestSweepNode adapts a raw store+engine pair to ingest.Node (phase B).
+type ingestSweepNode struct {
+	name string
+	db   *engine.DB
+	s    *securestore.Store
+}
+
+func (n *ingestSweepNode) Name() string { return n.name }
+func (n *ingestSweepNode) Apply(stmts []ast.Statement) ([]*exec.Result, error) {
+	return n.db.ExecuteBatch(stmts)
+}
+func (n *ingestSweepNode) Seq() uint64 { return n.s.Seq() }
+
+// runIngestPhaseB sweeps a power cut over every device-write boundary of the
+// pipeline's write path — one record per batch, covering appends, rewrites,
+// and catalog persists — and checks every recovery against the acked-write
+// contract.
+func runIngestPhaseB(cfg *IngestConfig, rep *IngestReport, acc hash.Hash) error {
+	nw, meter, err := bootSweepDevice()
+	if err != nil {
+		return err
+	}
+	records := stmtSweepWorkload(cfg.Seed)
+
+	// Fault-free reference: write count, ack-seq discipline, and the state
+	// digest at every record boundary.
+	refCut := faultinject.NewPowerCut(pager.NewMemDevice(), "ingestsweep")
+	s, db, err := stmtSweepSetup(refCut, nw, meter, 0, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	pipe, err := ingest.New(ingest.Config{Nodes: []ingest.Node{&ingestSweepNode{"n0", db, s}}})
+	if err != nil {
+		return err
+	}
+	boundaries := make([]string, 0, len(records)+1)
+	d, err := sweepDigest(s)
+	if err != nil {
+		return err
+	}
+	boundaries = append(boundaries, d)
+	refCut.Arm(0, false, 1) // count workload writes only
+	baseSeq := s.Seq()
+	for i, sql := range records {
+		ack, err := pipe.Submit(ingest.Record{Client: ingestClientKey, SQL: sql})
+		if err != nil {
+			return fmt.Errorf("ingest sweep: reference record %d: %w", i, err)
+		}
+		if ack.Seq != baseSeq+uint64(i)+1 {
+			return fmt.Errorf("ingest sweep: record %d acked seq %d, want %d (ack does not name its anchor)",
+				i, ack.Seq, baseSeq+uint64(i)+1)
+		}
+		if d, err = sweepDigest(s); err != nil {
+			return err
+		}
+		boundaries = append(boundaries, d)
+	}
+	pipe.Close()
+	writes := refCut.Writes()
+	rep.Writes = writes
+	for _, b := range boundaries {
+		acc.Write([]byte(b))
+	}
+
+	tears := []bool{false}
+	if cfg.Tear {
+		tears = append(tears, true)
+	}
+	slot := uint16(1)
+	for _, tear := range tears {
+		for k := 1; k <= writes; k++ {
+			landed, err := runIngestCrashPoint(cfg, nw, meter, slot, k, tear, records, boundaries)
+			if err != nil {
+				return err
+			}
+			rep.Points++
+			if landedIsNew(landed) {
+				rep.LandedNew++
+			} else {
+				rep.LandedOld++
+			}
+			acc.Write([]byte{'B', byte(k), byte(k >> 8), b2b(tear), byte(landed.boundary)})
+			slot++
+		}
+	}
+	return nil
+}
+
+// runIngestCrashPoint streams the records through a fresh pipeline with a
+// power cut armed at write k. The cut models whole-process death: OnNodeDown
+// closes the pipeline, so the interrupted record nacks and no later record is
+// accepted. Recovery must land on a record boundary covering every ack.
+func runIngestCrashPoint(cfg *IngestConfig, nw *trustzone.NormalWorld, meter *simtime.Meter, slot uint16, k int, tear bool, records, boundaries []string) (landing, error) {
+	var l landing
+	medium := pager.NewMemDevice()
+	cut := faultinject.NewPowerCut(medium, "ingestsweep")
+	s, db, err := stmtSweepSetup(cut, nw, meter, slot, cfg.Seed)
+	if err != nil {
+		return l, fmt.Errorf("k=%d tear=%t: setup: %w", k, tear, err)
+	}
+	var pipe *ingest.Pipeline
+	pipe, err = ingest.New(ingest.Config{
+		Nodes:      []ingest.Node{&ingestSweepNode{"n0", db, s}},
+		OnNodeDown: func(string, error) { pipe.Close() }, // power loss kills the process too
+	})
+	if err != nil {
+		return l, err
+	}
+	cut.Arm(k, tear, cfg.Seed)
+
+	failed, acked := -1, -1
+	for i, sql := range records {
+		if _, err := pipe.Submit(ingest.Record{Client: ingestClientKey, SQL: sql}); err != nil {
+			if !errors.Is(err, ingest.ErrClosed) {
+				return l, fmt.Errorf("k=%d tear=%t: record %d nacked with a non-shutdown error: %w", k, tear, i, err)
+			}
+			failed = i
+			break
+		}
+		acked = i
+	}
+	if failed < 0 {
+		return l, fmt.Errorf("k=%d tear=%t: stream completed despite the armed cut (writes=%d)", k, tear, cut.Writes())
+	}
+	l.failed = failed
+
+	// Power back on: the recovered store must digest to the interrupted
+	// record's pre- or post-image — catalog loading and scanning included —
+	// and the landing must cover every acked record.
+	cut.Disarm()
+	cut.Revive()
+	opts := securestore.Options{RPMBSlot: slot}
+	s2, err := securestore.Open(medium, nw, meter, opts)
+	if err != nil {
+		return l, fmt.Errorf("k=%d tear=%t: recovery reopen failed: %w", k, tear, err)
+	}
+	if err := s2.VerifyAll(); err != nil {
+		return l, fmt.Errorf("k=%d tear=%t: recovered store failed verification: %w", k, tear, err)
+	}
+	db2, err := engine.Open(s2, meter)
+	if err != nil {
+		return l, fmt.Errorf("k=%d tear=%t: recovered catalog failed to load: %w", k, tear, err)
+	}
+	tab, err := db2.Table("ev")
+	if err != nil {
+		return l, fmt.Errorf("k=%d tear=%t: recovered catalog lost table ev: %w", k, tear, err)
+	}
+	if _, err := tab.Count(); err != nil {
+		return l, fmt.Errorf("k=%d tear=%t: recovered heap does not scan: %w", k, tear, err)
+	}
+	d, err := sweepDigest(s2)
+	if err != nil {
+		return l, err
+	}
+	switch d {
+	case boundaries[failed]:
+		l.boundary = failed
+	case boundaries[failed+1]:
+		l.boundary = failed + 1
+	default:
+		return l, fmt.Errorf("k=%d tear=%t: recovered state matches neither boundary of record %d — torn record survived recovery", k, tear, failed)
+	}
+	if l.boundary <= acked {
+		return l, fmt.Errorf("k=%d tear=%t: acked record %d missing from recovered state (landed at boundary %d)", k, tear, acked, l.boundary)
+	}
+	return l, nil
+}
+
+// runIngestPhaseC kills the authority mid-batch, then the replica mid-batch,
+// restarting and readmitting each; the stream must finish with every record
+// acked and both nodes logically identical.
+func runIngestPhaseC(cfg *IngestConfig, rep *IngestReport, acc hash.Hash) error {
+	type cnode struct {
+		srv *storageengine.Server
+		cut *faultinject.PowerCut
+	}
+	mk := func(name string) (*cnode, error) {
+		vendor, err := trustzone.NewVendor("ingest-vendor")
+		if err != nil {
+			return nil, err
+		}
+		n := &cnode{}
+		var m simtime.Meter
+		n.srv, err = storageengine.New(storageengine.Config{
+			DeviceID: name, Vendor: vendor, Location: "EU", FWVersion: "3.4",
+			Secure: true, Meter: &m,
+			MediumWrapper: func(node string, dev pager.BlockDevice) pager.BlockDevice {
+				if n.cut == nil {
+					n.cut = faultinject.NewPowerCut(dev, node)
+				}
+				return n.cut
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := n.srv.DB().Execute("CREATE TABLE ev (id INTEGER, client TEXT, note TEXT)"); err != nil {
+			return nil, err
+		}
+		return n, nil
+	}
+	a, err := mk("storage-01")
+	if err != nil {
+		return err
+	}
+	b, err := mk("storage-02")
+	if err != nil {
+		return err
+	}
+	byName := map[string]*cnode{"storage-01": a, "storage-02": b}
+
+	var pipe *ingest.Pipeline
+	pipe, err = ingest.New(ingest.Config{
+		Nodes: []ingest.Node{ingest.NewServerNode(a.srv), ingest.NewServerNode(b.srv)},
+		OnNodeDown: func(name string, cause error) {
+			rep.Kills++
+			// The operator side: revive the medium, restart the node (journal
+			// recovery on the way up), readmit it into the pipeline.
+			n := byName[name]
+			go func() {
+				n.cut.Disarm()
+				n.cut.Revive()
+				if err := n.srv.Restart(); err == nil {
+					pipe.NodeRecovered(name)
+				}
+			}()
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer pipe.Close()
+
+	pay := func(r int) string { return ingestPayload(cfg.Seed, 99, r, 0) }
+	records := []struct {
+		arm string // node whose next device write dies mid-batch
+		sql string
+	}{
+		{sql: fmt.Sprintf("INSERT INTO ev (id, client, note) VALUES (1, 'c1', '%s'), (2, 'c2', '%s')", pay(0), pay(1))},
+		{sql: fmt.Sprintf("INSERT INTO ev (id, client, note) VALUES (3, 'c1', '%s'), (4, 'c2', '%s')", pay(2), pay(3))},
+		{arm: "storage-01", sql: fmt.Sprintf("UPDATE ev SET note = '%s' WHERE id <= 2", pay(4))},
+		{sql: fmt.Sprintf("INSERT INTO ev (id, client, note) VALUES (5, 'c1', '%s')", pay(5))},
+		{arm: "storage-02", sql: "DELETE FROM ev WHERE id = 3"},
+		{sql: fmt.Sprintf("INSERT INTO ev (id, client, note) VALUES (6, 'c2', '%s'), (7, 'c1', '%s')", pay(6), pay(7))},
+	}
+	for i, r := range records {
+		if r.arm != "" {
+			byName[r.arm].cut.Arm(1, false, cfg.Seed)
+		}
+		type sr struct {
+			ack ingest.Ack
+			err error
+		}
+		ch := make(chan sr, 1)
+		go func() {
+			ack, err := pipe.Submit(ingest.Record{Client: ingestClientKey, SQL: r.sql})
+			ch <- sr{ack, err}
+		}()
+		select {
+		case out := <-ch:
+			if out.err != nil {
+				return fmt.Errorf("ingest sweep: phase C record %d nacked: %w", i, out.err)
+			}
+			fmt.Fprintf(acc, "C r%02d seq=%d affected=%d\n", i, out.ack.Seq, out.ack.Affected)
+		case <-time.After(cfg.QueryTimeout): //ironsafe:allow wallclock -- hang watchdog, the invariant under test
+			rep.Hangs++
+			return fmt.Errorf("ingest sweep: phase C record %d hung across the node kill", i)
+		}
+	}
+
+	if got := pipe.Batches(); got != uint64(len(records)) {
+		return fmt.Errorf("ingest sweep: phase C committed %d batches, want %d (a kill duplicated or dropped one)", got, len(records))
+	}
+	if sa, sb := a.srv.StoreSeq(), b.srv.StoreSeq(); sa != sb {
+		return fmt.Errorf("ingest sweep: phase C commit seqs diverge after recovery: %d vs %d", sa, sb)
+	}
+	da, err := ingestTableDigest(a.srv.DB(), "ev")
+	if err != nil {
+		return err
+	}
+	dbg, err := ingestTableDigest(b.srv.DB(), "ev")
+	if err != nil {
+		return err
+	}
+	if da != dbg {
+		return errors.New("ingest sweep: phase C replicas diverged after recovery")
+	}
+	fmt.Fprintf(acc, "C final %s kills=%d\n", da, rep.Kills)
+	return nil
+}

@@ -1,0 +1,212 @@
+// Statement-level power-cut sweep: the whole-statement-atomicity half of the
+// crash suite. Where powercut.go sweeps raw store transactions, this sweep
+// drives the full engine — INSERT appends, UPDATE/DELETE heap rewrites, and
+// the catalog update each statement carries — and proves that a power cut at
+// ANY device-write boundary (including inside a rewrite's zeroing pass and
+// inside the catalog persist) recovers to a whole-statement boundary: the
+// statement's pre-image or post-image, catalog included, never a mix.
+package chaos
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+
+	"ironsafe/internal/engine"
+	"ironsafe/internal/faultinject"
+	"ironsafe/internal/pager"
+	"ironsafe/internal/securestore"
+	"ironsafe/internal/simtime"
+	"ironsafe/internal/tee/trustzone"
+)
+
+// StatementSweepConfig scripts one statement-level power-cut sweep.
+type StatementSweepConfig struct {
+	// Seed drives row payloads and torn-write cut offsets.
+	Seed uint64
+	// Tear also sweeps every k with the k-th write torn mid-block.
+	Tear bool
+}
+
+// StatementSweepReport summarizes a statement sweep.
+type StatementSweepReport struct {
+	// Writes is the workload's device-write count (the k range); Statements
+	// is how many DML statements the workload runs.
+	Writes, Statements int
+	// Points, LandedOld, LandedNew mirror SweepReport.
+	Points, LandedOld, LandedNew int
+	// Digest commits to every (k, torn, landing) plus the boundary digests.
+	Digest string
+}
+
+// stmtSweepWorkload is the scripted DML sequence. Every shape that moves
+// pages is covered: multi-row INSERT (append + catalog growth), UPDATE and
+// DELETE (whole-heap rewrite: new pages written, old pages zeroed), and a
+// trailing INSERT after a rewrite (appends into the rewritten page list).
+func stmtSweepWorkload(seed uint64) []string {
+	pay := func(i int) string {
+		return hex.EncodeToString(sweepPage(seed, 100, i)[:8])
+	}
+	return []string{
+		fmt.Sprintf("INSERT INTO ev (id, client, payload) VALUES (4, 'c1', '%s'), (5, 'c2', '%s'), (6, 'c1', '%s')", pay(0), pay(1), pay(2)),
+		fmt.Sprintf("UPDATE ev SET payload = '%s' WHERE id <= 3", pay(3)),
+		"DELETE FROM ev WHERE id = 2",
+		fmt.Sprintf("INSERT INTO ev (id, client, payload) VALUES (7, 'c2', '%s')", pay(4)),
+		fmt.Sprintf("UPDATE ev SET client = 'c3', payload = '%s' WHERE id = 5", pay(5)),
+		"DELETE FROM ev WHERE id <= 4",
+	}
+}
+
+// stmtSweepSetup opens a store+engine over the cut device and loads the
+// fixed pre-workload state. Runs unarmed: setup writes are not swept.
+func stmtSweepSetup(cut *faultinject.PowerCut, nw *trustzone.NormalWorld, meter *simtime.Meter, slot uint16, seed uint64) (*securestore.Store, *engine.DB, error) {
+	s, err := securestore.Open(cut, nw, meter, securestore.Options{RPMBSlot: slot})
+	if err != nil {
+		return nil, nil, err
+	}
+	db, err := engine.Open(s, meter)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := db.Execute("CREATE TABLE ev (id INTEGER, client TEXT, payload TEXT)"); err != nil {
+		return nil, nil, err
+	}
+	seedStmt := fmt.Sprintf("INSERT INTO ev (id, client, payload) VALUES (1, 'c1', '%s'), (2, 'c2', '%s'), (3, 'c1', '%s')",
+		hex.EncodeToString(sweepPage(seed, 99, 0)[:8]),
+		hex.EncodeToString(sweepPage(seed, 99, 1)[:8]),
+		hex.EncodeToString(sweepPage(seed, 99, 2)[:8]))
+	if _, err := db.Execute(seedStmt); err != nil {
+		return nil, nil, err
+	}
+	return s, db, nil
+}
+
+// RunStatementSweep executes the statement-level power-cut sweep and fails
+// on the first crash point whose recovery is not a whole-statement boundary.
+func RunStatementSweep(cfg StatementSweepConfig) (*StatementSweepReport, error) {
+	nw, meter, err := bootSweepDevice()
+	if err != nil {
+		return nil, err
+	}
+	stmts := stmtSweepWorkload(cfg.Seed)
+
+	// Fault-free reference: write count plus per-statement boundary digests.
+	refCut := faultinject.NewPowerCut(pager.NewMemDevice(), "stmtsweep")
+	s, db, err := stmtSweepSetup(refCut, nw, meter, 0, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	boundaries := make([]string, 0, len(stmts)+1)
+	d, err := sweepDigest(s)
+	if err != nil {
+		return nil, err
+	}
+	boundaries = append(boundaries, d)
+	refCut.Arm(0, false, 1) // count workload writes only
+	for _, sql := range stmts {
+		if _, err := db.Execute(sql); err != nil {
+			return nil, fmt.Errorf("reference run: %s: %w", sql, err)
+		}
+		if d, err = sweepDigest(s); err != nil {
+			return nil, err
+		}
+		boundaries = append(boundaries, d)
+	}
+	writes := refCut.Writes()
+
+	rep := &StatementSweepReport{Writes: writes, Statements: len(stmts)}
+	acc := sha256.New()
+	for _, b := range boundaries {
+		acc.Write([]byte(b))
+	}
+	tears := []bool{false}
+	if cfg.Tear {
+		tears = append(tears, true)
+	}
+	slot := uint16(1)
+	for _, tear := range tears {
+		for k := 1; k <= writes; k++ {
+			landed, err := runStmtCrashPoint(&cfg, nw, meter, slot, k, tear, stmts, boundaries)
+			if err != nil {
+				return nil, err
+			}
+			rep.Points++
+			if landedIsNew(landed) {
+				rep.LandedNew++
+			} else {
+				rep.LandedOld++
+			}
+			acc.Write([]byte{byte(k), byte(k >> 8), b2b(tear), byte(landed.boundary)})
+			slot++
+		}
+	}
+	rep.Digest = hex.EncodeToString(acc.Sum(nil))
+	return rep, nil
+}
+
+// runStmtCrashPoint replays the DML workload with a power cut at write k,
+// recovers, and classifies the landed state against the statement boundaries.
+func runStmtCrashPoint(cfg *StatementSweepConfig, nw *trustzone.NormalWorld, meter *simtime.Meter, slot uint16, k int, tear bool, stmts, boundaries []string) (landing, error) {
+	var l landing
+	medium := pager.NewMemDevice()
+	cut := faultinject.NewPowerCut(medium, "stmtsweep")
+	_, db, err := stmtSweepSetup(cut, nw, meter, slot, cfg.Seed)
+	if err != nil {
+		return l, fmt.Errorf("k=%d tear=%t: setup: %w", k, tear, err)
+	}
+	cut.Arm(k, tear, cfg.Seed)
+
+	failed := -1
+	for i, sql := range stmts {
+		if _, err := db.Execute(sql); err != nil {
+			if !errors.Is(err, faultinject.ErrInjected) {
+				return l, fmt.Errorf("k=%d tear=%t: statement %d died of a non-injected error: %w", k, tear, i, err)
+			}
+			failed = i
+			break
+		}
+	}
+	if failed < 0 {
+		return l, fmt.Errorf("k=%d tear=%t: workload completed despite the armed cut (writes=%d)", k, tear, cut.Writes())
+	}
+	l.failed = failed
+
+	// Power back on: journal recovery must land the store on the statement's
+	// pre- or post-image — and the catalog must load and scan cleanly, so a
+	// heap committed without its catalog (or vice versa) is caught here.
+	cut.Disarm()
+	cut.Revive()
+	opts := securestore.Options{RPMBSlot: slot}
+	s2, err := securestore.Open(medium, nw, meter, opts)
+	if err != nil {
+		return l, fmt.Errorf("k=%d tear=%t: recovery reopen failed: %w", k, tear, err)
+	}
+	if err := s2.VerifyAll(); err != nil {
+		return l, fmt.Errorf("k=%d tear=%t: recovered store failed verification: %w", k, tear, err)
+	}
+	db2, err := engine.Open(s2, meter)
+	if err != nil {
+		return l, fmt.Errorf("k=%d tear=%t: recovered catalog failed to load: %w", k, tear, err)
+	}
+	tab, err := db2.Table("ev")
+	if err != nil {
+		return l, fmt.Errorf("k=%d tear=%t: recovered catalog lost table ev: %w", k, tear, err)
+	}
+	if _, err := tab.Count(); err != nil {
+		return l, fmt.Errorf("k=%d tear=%t: recovered heap does not scan: %w", k, tear, err)
+	}
+	d, err := sweepDigest(s2)
+	if err != nil {
+		return l, fmt.Errorf("k=%d tear=%t: digesting recovered state: %w", k, tear, err)
+	}
+	switch d {
+	case boundaries[failed]:
+		l.boundary = failed
+	case boundaries[failed+1]:
+		l.boundary = failed + 1
+	default:
+		return l, fmt.Errorf("k=%d tear=%t: recovered state matches neither boundary of statement %d — torn statement survived recovery", k, tear, failed)
+	}
+	return l, nil
+}

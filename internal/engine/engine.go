@@ -9,6 +9,7 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 
@@ -151,9 +152,32 @@ func (db *DB) SetScanConfig(cfg pager.ScanConfig) {
 // catalogPagesMax bounds how many catalog pages fit in the root page.
 const catalogPagesMax = (pager.PageSize - 8) / 4
 
+// catalogWriter is the write-side store subset catalog persistence needs —
+// satisfied by both a PageStore and a batch overlay.
+type catalogWriter interface {
+	WritePage(idx uint32, data []byte) error
+	Allocate() (uint32, error)
+}
+
 func (db *DB) persistCatalog() error {
-	rec := catalogRecord{}
+	tables := make([]*Table, 0, len(db.tables))
 	for _, t := range db.tables {
+		tables = append(tables, t)
+	}
+	return writeCatalog(db.store, tables)
+}
+
+// writeCatalog persists the catalog for the given tables through w. Tables
+// are serialized in name order so the catalog bytes are a pure function of
+// the database state — replicas applying the same statements stay
+// byte-comparable and the crash sweeps' media digests stay deterministic.
+func writeCatalog(w catalogWriter, tables []*Table) error {
+	sorted := append([]*Table(nil), tables...)
+	sort.Slice(sorted, func(i, j int) bool {
+		return strings.ToLower(sorted[i].Name) < strings.ToLower(sorted[j].Name)
+	})
+	rec := catalogRecord{}
+	for _, t := range sorted {
 		tr := tableRecord{Name: t.Name, Pages: t.heap.Pages()}
 		for _, c := range t.Sch.Columns {
 			tr.Columns = append(tr.Columns, columnRecord{Name: c.Name, Kind: c.Kind})
@@ -172,7 +196,7 @@ func (db *DB) persistCatalog() error {
 	binary.LittleEndian.PutUint32(root[0:4], uint32(len(blob)))
 	binary.LittleEndian.PutUint32(root[4:8], uint32(need))
 	for i := 0; i < need; i++ {
-		id, err := db.store.Allocate()
+		id, err := w.Allocate()
 		if err != nil {
 			return fmt.Errorf("engine: allocating catalog page: %w", err)
 		}
@@ -181,11 +205,11 @@ func (db *DB) persistCatalog() error {
 		if end > len(blob) {
 			end = len(blob)
 		}
-		if err := db.store.WritePage(id, blob[i*pager.PageSize:end]); err != nil {
+		if err := w.WritePage(id, blob[i*pager.PageSize:end]); err != nil {
 			return err
 		}
 	}
-	return db.store.WritePage(0, root)
+	return w.WritePage(0, root)
 }
 
 // Relation implements exec.Catalog.
@@ -287,6 +311,21 @@ func (db *DB) createTable(s *ast.CreateTable) (*exec.Result, error) {
 		seen[lc] = true
 		sch.Columns = append(sch.Columns, schema.Col(c.Name, c.Kind))
 	}
+	if ts, ok := db.store.(pager.TxnStore); ok {
+		// Atomic DDL: the new (empty) table and the catalog update land in
+		// one commit.
+		db.mu.Unlock()
+		b := db.newBatch(ts)
+		heap := pager.OpenHeapFile(b.ov, nil)
+		b.shadows[key] = &Table{Name: s.Name, Sch: sch, heap: heap, db: db}
+		b.created[key] = true
+		err := b.commit()
+		db.mu.Lock()
+		if err != nil {
+			return nil, err
+		}
+		return affected(0), nil
+	}
 	heap := pager.NewHeapFile(db.store)
 	heap.SetScanConfig(db.scanCfg)
 	db.tables[key] = &Table{Name: s.Name, Sch: sch, heap: heap, db: db}
@@ -298,15 +337,36 @@ func (db *DB) createTable(s *ast.CreateTable) (*exec.Result, error) {
 
 func (db *DB) dropTable(s *ast.DropTable) (*exec.Result, error) {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	key := strings.ToLower(s.Name)
 	t, exists := db.tables[key]
 	if !exists {
+		db.mu.Unlock()
 		if s.IfExists {
 			return affected(0), nil
 		}
 		return nil, fmt.Errorf("engine: no such table %q", s.Name)
 	}
+	if ts, ok := db.store.(pager.TxnStore); ok {
+		// Atomic drop: page wipe (session-cleanup semantics) and catalog
+		// removal commit as one group.
+		db.mu.Unlock()
+		b := db.newBatch(ts)
+		sh, err := b.shadow(s.Name)
+		if err != nil {
+			b.abort()
+			return nil, err
+		}
+		if err := sh.heap.Rewrite(nil); err != nil {
+			b.abort()
+			return nil, err
+		}
+		b.dropped[key] = true
+		if err := b.commit(); err != nil {
+			return nil, err
+		}
+		return affected(0), nil
+	}
+	defer db.mu.Unlock()
 	// Wipe the table's pages before dropping (session-cleanup semantics).
 	if err := t.heap.Rewrite(nil); err != nil {
 		return nil, err
@@ -341,10 +401,11 @@ func coerce(v value.Value, kind value.Kind) (value.Value, error) {
 }
 
 func (db *DB) insert(s *ast.Insert) (*exec.Result, error) {
-	t, err := db.Table(s.Table)
-	if err != nil {
-		return nil, err
-	}
+	return db.applyDML(s)
+}
+
+// buildInsertRows evaluates an INSERT's value lists against t's schema.
+func (db *DB) buildInsertRows(t *Table, s *ast.Insert) ([]schema.Row, error) {
 	// Map insert columns to table positions.
 	positions := make([]int, 0, t.Sch.Len())
 	if len(s.Columns) == 0 {
@@ -382,20 +443,24 @@ func (db *DB) insert(s *ast.Insert) (*exec.Result, error) {
 		}
 		rows = append(rows, row)
 	}
-	if err := t.heap.AppendAll(rows); err != nil {
-		return nil, err
-	}
-	db.mu.Lock()
-	err = db.persistCatalog()
-	db.mu.Unlock()
+	return rows, nil
+}
+
+// applyDML runs one INSERT/UPDATE/DELETE as a batch of one: on a
+// transactional store the heap mutation and the catalog update commit
+// atomically (a crash recovers to the whole-statement boundary); a plain
+// store keeps the classic two-step layout. Callers hold execMu exclusively.
+func (db *DB) applyDML(stmt ast.Statement) (*exec.Result, error) {
+	results, err := db.executeBatchLocked([]ast.Statement{stmt})
 	if err != nil {
 		return nil, err
 	}
-	return affected(len(rows)), nil
+	return results[0], nil
 }
 
 // InsertRows bulk-loads pre-built rows (used by the TPC-H loader); values
-// must already match the schema.
+// must already match the schema. On a transactional store the whole load
+// and the catalog update are one atomic commit.
 func (db *DB) InsertRows(table string, rows []schema.Row) error {
 	db.execMu.Lock()
 	defer db.execMu.Unlock()
@@ -408,6 +473,19 @@ func (db *DB) InsertRows(table string, rows []schema.Row) error {
 			return fmt.Errorf("engine: row %d has %d values, want %d", ri, len(r), t.Sch.Len())
 		}
 	}
+	if ts, ok := db.store.(pager.TxnStore); ok {
+		b := db.newBatch(ts)
+		sh, err := b.shadow(table)
+		if err != nil {
+			b.abort()
+			return err
+		}
+		if err := sh.heap.AppendAll(rows); err != nil {
+			b.abort()
+			return err
+		}
+		return b.commit()
+	}
 	if err := t.heap.AppendAll(rows); err != nil {
 		return err
 	}
@@ -417,21 +495,23 @@ func (db *DB) InsertRows(table string, rows []schema.Row) error {
 }
 
 func (db *DB) update(s *ast.Update) (*exec.Result, error) {
-	t, err := db.Table(s.Table)
-	if err != nil {
-		return nil, err
-	}
+	return db.applyDML(s)
+}
+
+// buildUpdateRows computes the post-image row set of an UPDATE over t's
+// current contents (which, inside a batch, include earlier staged writes).
+func (db *DB) buildUpdateRows(t *Table, s *ast.Update) ([]schema.Row, int, error) {
 	setIdx := map[int]ast.Expr{}
 	for col, e := range s.Set {
 		idx := t.Sch.IndexOf(col)
 		if idx < 0 {
-			return nil, fmt.Errorf("engine: no column %q in %q", col, s.Table)
+			return nil, 0, fmt.Errorf("engine: no column %q in %q", col, s.Table)
 		}
 		setIdx[idx] = e
 	}
 	var rows []schema.Row
 	changed := 0
-	err = t.heap.Scan(func(r schema.Row) error {
+	err := t.heap.Scan(func(r schema.Row) error {
 		match := true
 		if s.Where != nil {
 			v, err := evalRowPredicate(s.Where, t.Sch, r, db, db.meter)
@@ -461,28 +541,20 @@ func (db *DB) update(s *ast.Update) (*exec.Result, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	if err := t.heap.Rewrite(rows); err != nil {
-		return nil, err
-	}
-	db.mu.Lock()
-	err = db.persistCatalog()
-	db.mu.Unlock()
-	if err != nil {
-		return nil, err
-	}
-	return affected(changed), nil
+	return rows, changed, nil
 }
 
 func (db *DB) delete(s *ast.Delete) (*exec.Result, error) {
-	t, err := db.Table(s.Table)
-	if err != nil {
-		return nil, err
-	}
+	return db.applyDML(s)
+}
+
+// buildDeleteRows computes the surviving row set of a DELETE.
+func (db *DB) buildDeleteRows(t *Table, s *ast.Delete) ([]schema.Row, int, error) {
 	var kept []schema.Row
 	removed := 0
-	err = t.heap.Scan(func(r schema.Row) error {
+	err := t.heap.Scan(func(r schema.Row) error {
 		match := true
 		if s.Where != nil {
 			v, err := evalRowPredicate(s.Where, t.Sch, r, db, db.meter)
@@ -499,18 +571,9 @@ func (db *DB) delete(s *ast.Delete) (*exec.Result, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	if err := t.heap.Rewrite(kept); err != nil {
-		return nil, err
-	}
-	db.mu.Lock()
-	err = db.persistCatalog()
-	db.mu.Unlock()
-	if err != nil {
-		return nil, err
-	}
-	return affected(removed), nil
+	return kept, removed, nil
 }
 
 // evalConst evaluates an expression with no row context (INSERT values).

@@ -1,0 +1,51 @@
+package ingest
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"ironsafe/internal/ctl"
+)
+
+// WireRecord is the ctl wire form of one streamed record.
+type WireRecord struct {
+	Client string `json:"client"`
+	SQL    string `json:"sql"`
+	Date   string `json:"date,omitempty"`
+}
+
+// WireAck is the ctl wire form of a durable receipt.
+type WireAck struct {
+	Seq      uint64 `json:"seq"`
+	Batch    uint64 `json:"batch"`
+	Affected int    `json:"affected"`
+}
+
+// RegisterCtl exposes the pipeline on a ctl server as the "ingest" command.
+// The server's own admission queue (MaxConns/MaxQueue) bounds concurrent
+// submitters; the pipeline's queue bounds coalescing depth — both refuse
+// with retry-after rather than queueing unboundedly.
+func RegisterCtl(srv *ctl.Server, p *Pipeline) {
+	srv.Handle("ingest", func(req []byte) (any, error) {
+		var r WireRecord
+		if err := json.Unmarshal(req, &r); err != nil {
+			return nil, fmt.Errorf("ingest: bad request: %w", err)
+		}
+		ack, err := p.Submit(Record{Client: r.Client, SQL: r.SQL, Date: r.Date})
+		if err != nil {
+			return nil, err
+		}
+		return WireAck{Seq: ack.Seq, Batch: ack.Batch, Affected: ack.Affected}, nil
+	})
+}
+
+// SubmitCtl streams one record over an established ctl connection and decodes
+// the ack.
+func SubmitCtl(c *ctl.Client, rec Record) (Ack, error) {
+	var wa WireAck
+	err := c.Call("ingest", WireRecord{Client: rec.Client, SQL: rec.SQL, Date: rec.Date}, &wa)
+	if err != nil {
+		return Ack{}, err
+	}
+	return Ack{Seq: wa.Seq, Batch: wa.Batch, Affected: wa.Affected}, nil
+}

@@ -1,0 +1,56 @@
+package ingest
+
+import (
+	"crypto/sha256"
+	"net"
+	"strings"
+	"testing"
+
+	"ironsafe/internal/ctl"
+)
+
+// TestIngestOverCtl: the full wire path — secure ctl channel, JSON record in,
+// durable ack out, and handler errors surfacing as typed-by-string refusals.
+func TestIngestOverCtl(t *testing.T) {
+	e := newEnv(t, "storage-01", false)
+	p, err := New(Config{Nodes: []Node{NewServerNode(e.srv)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	key := sha256.Sum256([]byte("test-deployment-psk"))
+	srv := ctl.NewServer(key[:])
+	RegisterCtl(srv, p)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go srv.Serve(ln)
+
+	c, err := ctl.Dial(ln.Addr().String(), key[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ack, err := SubmitCtl(c, Record{Client: "w", SQL: "INSERT INTO ev (id, note) VALUES (1, 'x'), (2, 'y')"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Affected != 2 || ack.Seq == 0 || ack.Batch != 1 {
+		t.Errorf("ack = %+v, want affected 2 in batch 1", ack)
+	}
+	if n := rowCount(t, e.srv); n != 2 {
+		t.Errorf("ev has %d rows, want 2", n)
+	}
+
+	// Non-DML and semantic failures refuse over the wire, not hang.
+	if _, err := SubmitCtl(c, Record{Client: "w", SQL: "SELECT * FROM ev"}); err == nil || !strings.Contains(err.Error(), "only INSERT") {
+		t.Errorf("SELECT over ctl = %v, want ErrNotDML refusal", err)
+	}
+	if _, err := SubmitCtl(c, Record{Client: "w", SQL: "INSERT INTO nosuch (id) VALUES (1)"}); err == nil {
+		t.Error("insert into missing table acked")
+	}
+}

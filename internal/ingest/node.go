@@ -1,0 +1,33 @@
+package ingest
+
+import (
+	"ironsafe/internal/sql/ast"
+	"ironsafe/internal/sql/exec"
+	"ironsafe/internal/storageengine"
+)
+
+// ServerNode adapts a storage server to the pipeline's Node interface: Apply
+// is an atomic engine batch (one store commit), Seq the secure store's
+// durable commit sequence. The adapter reads the server's current engine on
+// every call, so a restarted (recovered) server is picked up transparently.
+type ServerNode struct {
+	name string
+	srv  *storageengine.Server
+}
+
+// NewServerNode wraps a storage server for ingest.
+func NewServerNode(srv *storageengine.Server) *ServerNode {
+	id, _, _ := srv.Info()
+	return &ServerNode{name: id, srv: srv}
+}
+
+// Name implements Node.
+func (n *ServerNode) Name() string { return n.name }
+
+// Apply implements Node.
+func (n *ServerNode) Apply(stmts []ast.Statement) ([]*exec.Result, error) {
+	return n.srv.DB().ExecuteBatch(stmts)
+}
+
+// Seq implements Node.
+func (n *ServerNode) Seq() uint64 { return n.srv.StoreSeq() }

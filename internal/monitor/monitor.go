@@ -25,6 +25,7 @@ import (
 	"ironsafe/internal/sql/parser"
 	"ironsafe/internal/tee/sgx"
 	"ironsafe/internal/tee/trustzone"
+	"ironsafe/internal/value"
 )
 
 // NodeInfo is the deployment metadata of a node.
@@ -453,7 +454,7 @@ func (m *Monitor) Authorize(req AuthRequest) (*Authorization, error) {
 	// database whose policy keys on an expiry or reuse column must supply
 	// that column — records without their compliance metadata are rejected.
 	if ins, ok := stmt.(*ast.Insert); ok {
-		if err := checkInsertCompliance(ins, accessPolicy); err != nil {
+		if err := checkInsertCompliance(ins, accessPolicy, req.AccessDate); err != nil {
 			m.log.Append(m.cfg.Clock(), req.ClientKey, "denial", err.Error())
 			return nil, fmt.Errorf("%w: %v", ErrDenied, err)
 		}
@@ -466,7 +467,11 @@ func (m *Monitor) Authorize(req AuthRequest) (*Authorization, error) {
 	}
 	m.mu.Lock()
 	m.seq++
-	id := fmt.Sprintf("sess-%06d-%s", m.seq, hex.EncodeToString(key[:4]))
+	// The ID tag derives from non-secret request content, never from the key:
+	// session IDs circulate in plaintext (audit trail, storage control plane),
+	// and the audit trail of two identical runs must be byte-identical.
+	tag := sha256.Sum256([]byte(fmt.Sprintf("%d|%s|%s", m.seq, req.ClientKey, req.Database)))
+	id := fmt.Sprintf("sess-%06d-%s", m.seq, hex.EncodeToString(tag[:4]))
 	sess := &Session{ID: id, Key: key, ClientKey: req.ClientKey, Database: req.Database, StorageIDs: compliantStorage}
 	m.sessions[id] = sess
 	m.mu.Unlock()
@@ -546,27 +551,69 @@ func permissionFor(stmt ast.Statement) string {
 
 // checkInsertCompliance rejects INSERTs that omit columns the access policy
 // keys on (le's expiry column, reuseMap's consent bitmap). An INSERT without
-// a column list targets every table column positionally and passes.
-func checkInsertCompliance(ins *ast.Insert, p *policy.Policy) error {
+// a column list targets every table column positionally and passes. When the
+// caller supplies an access date, records whose literal expiry value is
+// already in the past are rejected too (timely-deletion at ingest: a record
+// born expired would be unreadable under the policy yet still occupy — and
+// leak through — storage).
+func checkInsertCompliance(ins *ast.Insert, p *policy.Policy, accessDate string) error {
 	if len(ins.Columns) == 0 {
 		return nil
 	}
-	have := map[string]bool{}
-	for _, c := range ins.Columns {
-		have[strings.ToLower(c)] = true
+	have := map[string]int{}
+	for i, c := range ins.Columns {
+		have[strings.ToLower(c)] = i + 1
 	}
 	for _, pred := range p.Predicates() {
 		var col string
+		expiry := false
 		switch pred.Name {
 		case "le":
 			if pred.Args[0] == "T" {
 				col = pred.Args[1]
+				expiry = true
 			}
 		case "reuseMap":
 			col = pred.Args[0]
 		}
-		if col != "" && !have[strings.ToLower(col)] {
+		if col == "" {
+			continue
+		}
+		pos := have[strings.ToLower(col)]
+		if pos == 0 {
 			return fmt.Errorf("monitor: insert omits policy column %q (records need their compliance metadata)", col)
+		}
+		if !expiry || accessDate == "" {
+			continue
+		}
+		access, err := value.ParseDate(accessDate)
+		if err != nil {
+			return fmt.Errorf("monitor: access date: %v", err)
+		}
+		for ri, row := range ins.Rows {
+			if pos-1 >= len(row) {
+				continue
+			}
+			lit, ok := row[pos-1].(*ast.Literal)
+			if !ok {
+				continue // non-literal expiry: checked at read time by the row filter
+			}
+			var exp value.Value
+			switch lit.Value.Kind() {
+			case value.KindDate:
+				exp = lit.Value
+			case value.KindString:
+				exp, err = value.ParseDate(lit.Value.AsString())
+				if err != nil {
+					return fmt.Errorf("monitor: row %d: expiry column %q: %v", ri, col, err)
+				}
+			default:
+				continue
+			}
+			if exp.AsInt() < access.AsInt() {
+				return fmt.Errorf("monitor: row %d is born expired (%s expires %s, access date %s)",
+					ri, col, lit.String(), accessDate)
+			}
 		}
 	}
 	return nil

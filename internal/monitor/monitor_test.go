@@ -477,6 +477,56 @@ func TestInsertComplianceChecks(t *testing.T) {
 	}
 }
 
+// TestInsertBornExpired: with an access date supplied, the monitor rejects
+// records whose literal expiry value is already in the past — timely-deletion
+// enforced at ingest, not just at read time.
+func TestInsertBornExpired(t *testing.T) {
+	r := newRig(t)
+	r.attestHost(t)
+	r.attestStorage(t)
+	r.mon.SetAccessPolicy("db", policy.MustParse(
+		"read :- sessionKeyIs(K) & le(T, expiry)\nwrite :- sessionKeyIs(K)"))
+
+	// Expiry after the access date: allowed.
+	if _, err := r.mon.Authorize(AuthRequest{
+		Database: "db", ClientKey: "K", HostID: "host-1", AccessDate: "1995-01-01",
+		SQL: "INSERT INTO pii (id, expiry) VALUES (1, '1999-01-01')",
+	}); err != nil {
+		t.Errorf("future-expiry insert denied: %v", err)
+	}
+	// Expiry before the access date: born expired, denied.
+	if _, err := r.mon.Authorize(AuthRequest{
+		Database: "db", ClientKey: "K", HostID: "host-1", AccessDate: "1995-01-01",
+		SQL: "INSERT INTO pii (id, expiry) VALUES (1, '1994-12-31')",
+	}); !errors.Is(err, ErrDenied) {
+		t.Errorf("born-expired insert = %v, want ErrDenied", err)
+	}
+	// One bad row poisons the whole multi-row insert.
+	if _, err := r.mon.Authorize(AuthRequest{
+		Database: "db", ClientKey: "K", HostID: "host-1", AccessDate: "1995-01-01",
+		SQL: "INSERT INTO pii (id, expiry) VALUES (1, '1999-01-01'), (2, '1990-01-01')",
+	}); !errors.Is(err, ErrDenied) {
+		t.Errorf("multi-row insert with one born-expired row = %v, want ErrDenied", err)
+	}
+	// The denial is audited.
+	found := false
+	for _, e := range r.mon.AuditLog().Entries() {
+		if e.Kind == "denial" && strings.Contains(e.Detail, "born expired") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("born-expired denial not audited")
+	}
+	// No access date (non-deterministic deployments): the check is skipped.
+	if _, err := r.mon.Authorize(AuthRequest{
+		Database: "db", ClientKey: "K", HostID: "host-1",
+		SQL: "INSERT INTO pii (id, expiry) VALUES (1, '1990-01-01')",
+	}); err != nil {
+		t.Errorf("insert without access date denied: %v", err)
+	}
+}
+
 func TestRevocation(t *testing.T) {
 	r := newRig(t)
 	r.setup(t)

@@ -36,6 +36,7 @@ func TestGroupCommitOneRPMBWritePerTxn(t *testing.T) {
 	const pages = 10
 
 	base := e.meter.Snapshot()
+	seq0 := s.Seq()
 	txn := s.Begin()
 	for i := 0; i < pages; i++ {
 		idx, err := txn.Allocate()
@@ -52,6 +53,24 @@ func TestGroupCommitOneRPMBWritePerTxn(t *testing.T) {
 	grouped := e.meter.Snapshot().Sub(base).RPMBWrites
 	if grouped != 1 {
 		t.Errorf("group commit of %d pages cost %d RPMB writes, want 1", pages, grouped)
+	}
+	// The commit seq is the ingest ack's anchor: one group commit advances it
+	// by exactly one, no matter how many writers' pages share the txn.
+	if got := s.Seq(); got != seq0+1 {
+		t.Errorf("group commit advanced seq %d -> %d, want exactly +1", seq0, got)
+	}
+
+	// An empty txn is a no-op: no journal record, no RPMB advance, no seq —
+	// an ack anchored on its "commit" would be a lie.
+	base = e.meter.Snapshot()
+	if err := s.Begin().Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.meter.Snapshot().Sub(base).RPMBWrites; got != 0 {
+		t.Errorf("empty txn cost %d RPMB writes, want 0", got)
+	}
+	if got := s.Seq(); got != seq0+1 {
+		t.Errorf("empty txn advanced seq to %d, want it held at %d", got, seq0+1)
 	}
 
 	base = e.meter.Snapshot()

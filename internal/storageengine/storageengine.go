@@ -197,6 +197,19 @@ func (s *Server) DB() *engine.DB {
 // Medium exposes the raw untrusted medium (tests and attack simulations).
 func (s *Server) Medium() *pager.MemDevice { return s.medium }
 
+// StoreSeq returns the secure store's committed transaction sequence — the
+// durable ingest position. Each engine batch is exactly one store commit, so
+// seq arithmetic tells a recovering ingest pipeline which batches a node holds.
+// Plain (non-secure) stores have no commit sequence and report 0.
+func (s *Server) StoreSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ss, ok := s.store.(*securestore.Store); ok {
+		return ss.Seq()
+	}
+	return 0
+}
+
 // NormalWorldMeasurement is the boot-time measurement the monitor whitelists.
 func (s *Server) NormalWorldMeasurement() trustzone.Measurement {
 	return s.secure.NormalWorldMeasurement()
