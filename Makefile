@@ -7,7 +7,7 @@ GO ?= go
 # name explicitly. `make race` extends it to the whole module.
 RACE_PKGS = ./internal/monitor ./internal/engine ./internal/pager ./internal/simtime ./internal/securestore
 
-.PHONY: all build test race race-tier1 vet lint vet-json vet-bench chaos chaos-race crashsweep crashsweep-race rebuildsweep rebuildsweep-race graysweep graysweep-race ingestsweep ingestsweep-race benchjson benchsmoke check clean
+.PHONY: all build test race race-tier1 vet lint vet-json vet-bench chaos chaos-race crashsweep crashsweep-race rebuildsweep rebuildsweep-race graysweep graysweep-race ingestsweep ingestsweep-race adversarysweep adversarysweep-race fuzz-smoke benchjson benchsmoke check clean
 
 all: check
 
@@ -108,6 +108,37 @@ ingestsweep:
 ingestsweep-race:
 	$(GO) test -race -count=1 -run 'Ingest|GroupCommit|Earlyack|StatementSweep' ./internal/ingest ./internal/chaos ./internal/securestore ./internal/analysis .
 
+# adversarysweep runs the active-adversary conformance suite (see DESIGN.md,
+# "Active-adversary model & conformance"): a seeded MITM mounts replay,
+# duplication, reordering, cross-session splicing, forged frames, forged
+# banners, stale medium reads, and whole-medium rollback at every protocol
+# step of a multi-node run — every attack must be absorbed or surface typed,
+# with zero wrong rows, zero unbacked acks, zero hangs, and per-seed
+# byte-identical digests.
+adversarysweep:
+	$(GO) test -count=1 -run 'Adversary|Mitm|ForgedBanner|Classify|NonceReuse' ./internal/adversary ./internal/chaos ./internal/ctl ./internal/hostengine ./internal/analysis
+
+adversarysweep-race:
+	$(GO) test -race -count=1 -run 'Adversary|Mitm|ForgedBanner|Classify|NonceReuse' ./internal/adversary ./internal/chaos ./internal/ctl ./internal/hostengine ./internal/analysis
+
+# fuzz-smoke runs each wire-codec fuzz target for a short bounded stint —
+# transport frames, the rebuild manifest, the redo journal, the storage page
+# list, and the ingest wire ack. The seeded corpora alone run in ordinary
+# `go test`; this target adds coverage-guided exploration.
+FUZZTIME ?= 5s
+FUZZ_TARGETS = \
+	FuzzRecv:./internal/transport \
+	FuzzDecodeManifest:./internal/securestore \
+	FuzzDecodeJournal:./internal/securestore \
+	FuzzDecodePageList:./internal/storageengine \
+	FuzzWireAck:./internal/ingest
+fuzz-smoke:
+	@for t in $(FUZZ_TARGETS); do \
+		name=$${t%%:*}; pkg=$${t#*:}; \
+		echo "fuzz $$name ($$pkg, $(FUZZTIME))"; \
+		$(GO) test -run '^$$' -fuzz "^$$name$$" -fuzztime $(FUZZTIME) $$pkg || exit 1; \
+	done
+
 # benchjson regenerates the machine-readable benchmark record so the perf
 # trajectory (per-query times, scs breakdown, scan-pipeline counters) is
 # tracked across PRs.
@@ -121,7 +152,7 @@ benchsmoke:
 	$(GO) run ./cmd/ironsafe-bench -exp json -sf 0.002 -queries 1,6 -json /tmp/bench_smoke.json
 	$(GO) test -count=1 -run 'BatchedMatchesSequential|CollectResults' ./internal/bench
 
-check: build vet lint test race-tier1 chaos-race crashsweep-race rebuildsweep-race graysweep-race ingestsweep-race
+check: build vet lint test race-tier1 chaos-race crashsweep-race rebuildsweep-race graysweep-race ingestsweep-race adversarysweep-race
 
 clean:
 	$(GO) clean ./...

@@ -20,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"ironsafe/internal/adversary"
 	"ironsafe/internal/ctl"
 	"ironsafe/internal/hostengine"
 	"ironsafe/internal/monitor"
@@ -92,11 +93,18 @@ func main() {
 	storageCtl := flag.String("storage-ctl", "127.0.0.1:7101", "storage control address (schema fetch)")
 	location := flag.String("location", "EU", "host location")
 	fw := flag.String("fw", "2.1", "host firmware version")
+	advSeed := flag.Uint64("adversary-seed", 0, "run offload channels under a seeded MITM soak (0 = off); queries must be answered correctly or refused with a typed error")
 	flag.Parse()
 	if *psk == "" {
 		fatal("-psk is required")
 	}
 	key := sha256.Sum256([]byte(*psk))
+
+	var adv *adversary.Engine
+	if *advSeed != 0 {
+		adv = adversary.SoakEngine(*advSeed)
+		fmt.Fprintf(os.Stderr, "ironsafe-host: ADVERSARIAL SOAK on storage offload channels (seed %d)\n", *advSeed)
+	}
 
 	var meter simtime.Meter
 	platform, err := sgx.NewPlatform("host-platform", nil)
@@ -177,7 +185,7 @@ func main() {
 		if len(auth.Auth.StorageIDs) == 0 {
 			return nil, fmt.Errorf("no compliant storage node")
 		}
-		node, err := hostengine.DialStorage(auth.StorageDataAddr, auth.Auth.StorageIDs[0],
+		node, err := dialStorage(adv, auth.StorageDataAddr, auth.Auth.StorageIDs[0],
 			auth.Auth.SessionID, auth.Auth.SessionKey, &meter)
 		if err != nil {
 			return nil, err
@@ -215,6 +223,37 @@ func main() {
 	if err := cs.Serve(ln); err != nil {
 		fatal("serve: %v", err)
 	}
+}
+
+// dialStorage opens the session-bound offload channel, interposing the
+// seeded MITM when soak mode is armed: the adversary sits between the TCP
+// dial and the handshake, so every preamble, public key, and AEAD frame of
+// the session crosses it. The engine keys its attack streams by node id, so
+// a soak run is reproducible from the seed alone.
+func dialStorage(adv *adversary.Engine, addr, nodeID, sessionID string, sessionKey []byte, meter *simtime.Meter) (*hostengine.RemoteNode, error) {
+	if adv == nil {
+		return hostengine.DialStorage(addr, nodeID, sessionID, sessionKey, meter)
+	}
+	cfg := resilience.Config{Sleep: resilience.RealSleep}.WithDefaults()
+	conn, err := resilience.DialTCP(addr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	wrapped := adversary.WrapConn(conn, nodeID, adversary.StorageProfile, adv)
+	var node *hostengine.RemoteNode
+	hsErr := resilience.WithConnDeadline(wrapped, cfg.HandshakeTimeout, func() error {
+		var err error
+		node, err = hostengine.NewRemoteNode(wrapped, nodeID, sessionID, sessionKey, meter)
+		return err
+	})
+	if hsErr != nil {
+		return nil, fmt.Errorf("ironsafe-host: storage handshake with %s under adversary: %w", nodeID, hsErr)
+	}
+	if cfg.IOTimeout > 0 {
+		node.Conn.SetIOTimeout(cfg.IOTimeout)
+		node.SetBaseIOTimeout(cfg.IOTimeout)
+	}
+	return node, nil
 }
 
 func fatal(format string, args ...any) {

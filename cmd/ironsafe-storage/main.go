@@ -19,8 +19,10 @@ import (
 	"strings"
 	"time"
 
+	"ironsafe/internal/adversary"
 	"ironsafe/internal/ctl"
 	"ironsafe/internal/ingest"
+	"ironsafe/internal/pager"
 	"ironsafe/internal/resilience"
 	"ironsafe/internal/simtime"
 	"ironsafe/internal/storageengine"
@@ -66,6 +68,8 @@ func main() {
 	fw := flag.String("fw", "3.4", "firmware version")
 	id := flag.String("id", "storage-01", "node id")
 	secure := flag.Bool("secure", true, "use the secure store")
+	advSeed := flag.Uint64("adversary-seed", 0, "interpose a seeded adversary on the raw medium (0 = off); pair with -adversary-stale to serve captured stale images")
+	advStale := flag.Int("adversary-stale", 0, "with -adversary-seed: number of medium reads answered with valid-but-stale captured images; the node must refuse them with a typed freshness/integrity error")
 	flag.Parse()
 	if *psk == "" {
 		fatal("-psk is required")
@@ -76,10 +80,27 @@ func main() {
 		fatal("%v", err)
 	}
 	var meter simtime.Meter
-	srv, err := storageengine.New(storageengine.Config{
+	cfg := storageengine.Config{
 		DeviceID: *id, Vendor: vendor, Location: *location, FWVersion: *fw,
 		Secure: *secure, Meter: &meter,
-	})
+	}
+	// Adversarial medium soak: the raw medium is wrapped before the store
+	// opens over it, the pristine boot image is captured, and the first
+	// -adversary-stale reads of any block that changed since boot return the
+	// captured valid old image. The store's Merkle+RPMB freshness anchor must
+	// turn every one of those into a typed refusal — a node that answers a
+	// query from a stale image has failed the paper's rollback guarantee.
+	if *advSeed != 0 {
+		adv := adversary.NewEngine(*advSeed)
+		cfg.MediumWrapper = func(node string, dev pager.BlockDevice) pager.BlockDevice {
+			wrapped := adversary.WrapDevice(dev, node+":medium", adv)
+			wrapped.Capture()
+			wrapped.ArmStaleReads(*advStale)
+			return wrapped
+		}
+		fmt.Fprintf(os.Stderr, "ironsafe-storage: ADVERSARIAL MEDIUM SOAK (seed %d, stale budget %d)\n", *advSeed, *advStale)
+	}
+	srv, err := storageengine.New(cfg)
 	if err != nil {
 		fatal("%v", err)
 	}

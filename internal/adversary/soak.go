@@ -1,0 +1,23 @@
+package adversary
+
+// SoakRules is the broad-spectrum rule set the deployment binaries arm for
+// adversarial soak runs (ironsafe-host -adversary-seed, and the sweep's
+// broad phase uses its own tuning of the same shape): every frame attack
+// class at a low per-unit probability, skipping each leg's first two units
+// so handshakes complete and the attacks land on authenticated traffic,
+// where fail-closed behaviour — not connection refusal — is the property
+// under test.
+func SoakRules() []Rule {
+	return []Rule{
+		{Site: ":read", Class: Replay, Prob: 0.05, After: 2},
+		{Site: ":read", Class: Duplicate, Prob: 0.04, After: 2},
+		{Site: ":read", Class: Reorder, Prob: 0.03, After: 2},
+		{Site: ":write", Class: Inject, Prob: 0.04, After: 2},
+		{Site: ":write", Class: Splice, Prob: 0.03, After: 2},
+	}
+}
+
+// SoakEngine builds a seeded engine armed with SoakRules.
+func SoakEngine(seed uint64) *Engine {
+	return NewEngine(seed, SoakRules()...)
+}

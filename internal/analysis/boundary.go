@@ -46,11 +46,13 @@ var netTrustedPrefixes = []string{
 	"internal/hostengine",
 	"internal/storageengine",
 	// resilience wraps dials/deadlines for the channel layers; faultinject
-	// wraps net.Conn to inject faults beneath the AEAD boundary; chaos
-	// composes the two (it installs fault-wrapped conns into clusters but
-	// never performs raw I/O itself — rawnet still applies to it).
+	// and adversary wrap net.Conn to inject faults and protocol-aware
+	// attacks beneath the AEAD boundary; chaos composes them (it installs
+	// wrapped conns into clusters but never performs raw I/O itself —
+	// rawnet still applies to it).
 	"internal/resilience",
 	"internal/faultinject",
+	"internal/adversary",
 	"internal/chaos",
 	"cmd",
 }

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Noncereuse flags AEAD Seal/Open calls whose nonce argument is not visibly
+// derived from a sequence counter in the same function. GCM's security
+// collapses completely on a repeated (key, nonce) pair — two frames sealed
+// under the same nonce leak the XOR of their plaintexts and enough material
+// to forge tags — so the repo's standing pattern is the transport one: a
+// per-direction uint64 counter serialized into the nonce with
+// binary.BigEndian.PutUint64 immediately before the call. On the Open side
+// the same derivation is what turns replayed, dropped, or reordered frames
+// into authentication failures instead of silent acceptance.
+//
+// The check is lexical and per-function: a Seal/Open call in AEAD shape
+// (four arguments, receiver not an imported package) is fine when its nonce
+// argument is an identifier that some binary.{Big,Little}Endian.PutUint64/32
+// call in the same function writes into; anything else — a random nonce, a
+// nonce parsed out of attacker-supplied bytes, a nonce built elsewhere —
+// needs a reviewed //ironsafe:allow noncereuse directive arguing why reuse
+// (or acceptance of a foreign nonce) is impossible at that site. Test files
+// are exempt: tests forge nonces deliberately.
+var Noncereuse = &Analyzer{
+	Name: "noncereuse",
+	Doc:  "flag AEAD Seal/Open calls whose nonce is not counter-derived in the same function; non-counter nonces need a reviewed allow",
+	Run:  runNoncereuse,
+}
+
+func runNoncereuse(pass *Pass) error {
+	for _, f := range pass.Files {
+		if fileIsTest(pass.Fset, f) {
+			continue
+		}
+		imports := importsOf(f)
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			noncereuseCheckFunc(pass, fn, imports)
+		}
+	}
+	return nil
+}
+
+func noncereuseCheckFunc(pass *Pass, fn *ast.FuncDecl, imports map[string]string) {
+	// First pass: every identifier a counter-serialization call writes into.
+	// binary.BigEndian.PutUint64(nonce[...], seq) marks "nonce" as
+	// counter-derived for the whole function; slicing and offsets don't
+	// matter, only that the bytes come from an integer sequence.
+	derived := map[string]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) < 1 || !isPutUintCall(call, imports) {
+			return true
+		}
+		ast.Inspect(call.Args[0], func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				derived[id.Name] = true
+			}
+			return true
+		})
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 4 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Seal" && sel.Sel.Name != "Open") {
+			return true
+		}
+		// A package-level 4-arg Seal/Open (securestore.Open(dev, nw, meter,
+		// opts), ...) is not an AEAD call; the AEAD shape is a method on a
+		// value.
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if _, imported := imports[id.Name]; imported {
+				return true
+			}
+		}
+		nonce, ok := call.Args[1].(*ast.Ident)
+		if !ok || !derived[nonce.Name] {
+			pass.Reportf(call.Args[1].Pos(),
+				"AEAD %s nonce is not derived from a sequence counter in this function; serialize a per-key counter into it with binary.BigEndian.PutUint64 (or annotate the site with %s noncereuse -- <why reuse is impossible>)",
+				sel.Sel.Name, DirectivePrefix)
+		}
+		return true
+	})
+}
+
+// isPutUintCall matches binary.{BigEndian,LittleEndian}.PutUint64/PutUint32
+// with "binary" resolved through the file's imports to encoding/binary.
+func isPutUintCall(call *ast.CallExpr, imports map[string]string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "PutUint64" && sel.Sel.Name != "PutUint32") {
+		return false
+	}
+	order, ok := sel.X.(*ast.SelectorExpr)
+	if !ok || (order.Sel.Name != "BigEndian" && order.Sel.Name != "LittleEndian") {
+		return false
+	}
+	pkg, ok := order.X.(*ast.Ident)
+	return ok && imports[pkg.Name] == "encoding/binary"
+}

@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ironsafe/internal/analysis"
+	"ironsafe/internal/analysis/analysistest"
+)
+
+func TestNonceReuseCounterDerivation(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Noncereuse, "noncereuse")
+}
+
+func TestNonceReuseAllowDirective(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Noncereuse, "noncereuseallow")
+}

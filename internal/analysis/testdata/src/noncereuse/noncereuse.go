@@ -1,0 +1,60 @@
+// Package noncereuse seeds AEAD calls with counter-derived, random, and
+// foreign nonces; only the non-counter ones must be flagged.
+package noncereuse
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+
+	"internal/fakestore"
+)
+
+type aead struct{}
+
+func (aead) Seal(dst, nonce, plaintext, additionalData []byte) []byte { return nil }
+func (aead) Open(dst, nonce, ciphertext, additionalData []byte) ([]byte, error) {
+	return nil, nil
+}
+func (aead) NonceSize() int { return 12 }
+
+// counterSeal is the sanctioned transport pattern: a per-key sequence
+// counter serialized into the nonce right before sealing.
+func counterSeal(gcm aead, seq uint64, plain []byte) []byte {
+	nonce := make([]byte, gcm.NonceSize())
+	binary.BigEndian.PutUint64(nonce[len(nonce)-8:], seq)
+	return gcm.Seal(nil, nonce, plain, nil)
+}
+
+// counterOpen checks the mirror-image receive sequence.
+func counterOpen(gcm aead, seq uint64, ct []byte) ([]byte, error) {
+	nonce := make([]byte, gcm.NonceSize())
+	binary.LittleEndian.PutUint32(nonce[:4], uint32(seq))
+	return gcm.Open(nil, nonce, ct, nil)
+}
+
+// randomSeal draws the nonce from the CSPRNG — no visible counter, flagged.
+func randomSeal(gcm aead, plain []byte) []byte {
+	nonce := make([]byte, gcm.NonceSize())
+	rand.Read(nonce)
+	return gcm.Seal(nonce, nonce, plain, nil) // want `AEAD Seal nonce is not derived from a sequence counter`
+}
+
+// foreignOpen takes the nonce out of the attacker-supplied blob — flagged.
+func foreignOpen(gcm aead, sealed []byte) ([]byte, error) {
+	nonce, ct := sealed[:gcm.NonceSize()], sealed[gcm.NonceSize():]
+	return gcm.Open(nil, nonce, ct, nil) // want `AEAD Open nonce is not derived from a sequence counter`
+}
+
+// exprNonce passes a non-identifier nonce expression; derivation cannot be
+// proven, so it is flagged even though a counter exists in the function.
+func exprNonce(gcm aead, seq uint64, plain []byte) []byte {
+	buf := make([]byte, 24)
+	binary.BigEndian.PutUint64(buf[:8], seq)
+	return gcm.Seal(nil, buf[:gcm.NonceSize()], plain, nil) // want `AEAD Seal nonce is not derived from a sequence counter`
+}
+
+// packageOpen is a 4-argument package-level Open — store/file APIs, not an
+// AEAD; never flagged.
+func packageOpen() {
+	fakestore.Open(nil, nil, nil, nil)
+}

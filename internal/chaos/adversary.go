@@ -1,0 +1,762 @@
+// Adversary sweep: the active-attacker counterpart to the fault sweep. Where
+// chaos.Run models accidents, RunAdversary mounts *semantic* protocol attacks
+// — replay, duplication, reordering, cross-session splicing, forged frames,
+// forged plaintext banners, stale medium reads, and whole-medium rollback —
+// at every protocol step, and checks the fail-closed contract:
+//
+//  1. no attack ever yields wrong or stale rows (absorbed attacks fail over
+//     to correct results),
+//  2. no ack is ever surfaced for a write the replicas do not hold,
+//  3. every surfaced failure is typed (classify never returns "untyped"),
+//  4. nothing hangs, and
+//  5. the whole run is byte-identical for a fixed seed.
+package chaos
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ironsafe"
+	"ironsafe/internal/adversary"
+	"ironsafe/internal/ctl"
+	"ironsafe/internal/ingest"
+	"ironsafe/internal/pager"
+	"ironsafe/internal/resilience"
+	"ironsafe/internal/tpch"
+)
+
+// AdversaryConfig scripts one active-adversary conformance run.
+type AdversaryConfig struct {
+	// Seed drives every attack decision; same seed, same run.
+	Seed uint64
+	// Queries is the broad-phase query count (0 means 12).
+	Queries int
+	// Nodes is the storage node count (0 means 2).
+	Nodes int
+	// MaxSteps bounds how deep into each frame stream the targeted grid
+	// plants its per-step attacks (0 means 2: the key-confirmation frame and
+	// the first data frame).
+	MaxSteps int
+	// IngestRecords is the ctl-ingest drill's record count (0 means 10).
+	IngestRecords int
+	// QueryTimeout is the per-operation hang watchdog (0 means 30s).
+	QueryTimeout time.Duration
+	// IOTimeout bounds each channel Send/Recv (0 means 250ms).
+	IOTimeout time.Duration
+	// ScaleFactor is the TPC-H volume (0 means 0.001).
+	ScaleFactor float64
+}
+
+// AdversaryReport is the full run record.
+type AdversaryReport struct {
+	// Mounted lists the distinct attack classes actually mounted; Attacks is
+	// their total count.
+	Mounted []adversary.Class
+	Attacks int
+	// Cells is how many targeted grid cells ran (one attack class at one
+	// protocol step each).
+	Cells int
+	// Succeeded / Failed partition the watchdogged queries.
+	Succeeded, Failed int
+	// WrongResults counts successful queries whose rows differed from the
+	// attack-free reference (must be zero — the core fail-closed invariant).
+	WrongResults int
+	// Hangs counts watchdog firings (must be zero).
+	Hangs int
+	// Untyped counts failures that did not map to a known error class
+	// (must be zero: every refusal is typed).
+	Untyped int
+	// AckViolations counts ingest acks not backed by durable rows on every
+	// replica (must be zero: a forged or replayed ack may never stand).
+	AckViolations int
+	// Digest commits to every outcome plus every engine's attack trace: two
+	// runs with the same config must produce the same digest.
+	Digest string
+}
+
+func (c *AdversaryConfig) fill() {
+	if c.Queries == 0 {
+		c.Queries = 12
+	}
+	if c.Nodes == 0 {
+		c.Nodes = 2
+	}
+	if c.MaxSteps == 0 {
+		c.MaxSteps = 2
+	}
+	if c.IngestRecords == 0 {
+		c.IngestRecords = 10
+	}
+	if c.QueryTimeout == 0 {
+		c.QueryTimeout = 30 * time.Second
+	}
+	if c.IOTimeout == 0 {
+		c.IOTimeout = 250 * time.Millisecond
+	}
+	if c.ScaleFactor == 0 {
+		c.ScaleFactor = 0.001
+	}
+}
+
+// adversaryHarness carries the state every phase shares: the generated data,
+// the attack-free reference digests, the running report, and the digest
+// accumulator all phase outcomes and traces feed.
+type adversaryHarness struct {
+	cfg      *AdversaryConfig
+	data     *tpch.Data
+	expected []string // reference row digests, indexed like QueryMix
+	rep      *AdversaryReport
+	acc      hash.Hash
+	mounted  map[adversary.Class]int
+}
+
+// RunAdversary executes one scripted adversary run and returns its report.
+// The phases, in order: A broad randomized frame attacks under query load;
+// B a targeted grid planting every frame-attack class at every early protocol
+// step, plus identity-unit (preamble/public-key) replay and splice; C the
+// ctl-ingest drill (forged banners, attacked acks, forged-ack durability
+// audit); D the medium drills (stale reads at reopen, whole-medium rollback);
+// E rebuild under replayed and spliced transfer legs.
+func RunAdversary(cfg AdversaryConfig) (*AdversaryReport, error) {
+	cfg.fill()
+	h := &adversaryHarness{
+		cfg:     &cfg,
+		data:    tpch.Generate(cfg.ScaleFactor),
+		rep:     &AdversaryReport{},
+		acc:     sha256.New(),
+		mounted: map[adversary.Class]int{},
+	}
+
+	// Attack-free reference: defines the correct rows for the query mix.
+	ref, _, err := h.cluster(nil, nil)
+	if err != nil {
+		return nil, fmt.Errorf("adversary sweep: reference cluster: %w", err)
+	}
+	if err := h.load(ref, accessPolicy); err != nil {
+		return nil, err
+	}
+	refSession := ref.NewSession(clientKey)
+	h.expected = make([]string, len(QueryMix))
+	for i, qn := range QueryMix {
+		r, err := refSession.Query(tpch.Queries[qn])
+		if err != nil {
+			return nil, fmt.Errorf("adversary sweep: reference q%d: %w", qn, err)
+		}
+		h.expected[i] = digestRows(r.Result)
+	}
+
+	for _, phase := range []func() error{
+		h.phaseBroad, h.phaseGrid, h.phaseIngest, h.phaseMedium, h.phaseRebuild,
+	} {
+		if err := phase(); err != nil {
+			return nil, err
+		}
+	}
+
+	for cls, n := range h.mounted {
+		if n > 0 {
+			h.rep.Mounted = append(h.rep.Mounted, cls)
+			h.rep.Attacks += n
+		}
+	}
+	sort.Slice(h.rep.Mounted, func(i, j int) bool { return h.rep.Mounted[i] < h.rep.Mounted[j] })
+	h.rep.Digest = hex.EncodeToString(h.acc.Sum(nil))
+	return h.rep, nil
+}
+
+// cluster builds a secure cluster with the adversary interposed: eng wraps
+// every channel (query and rebuild legs both dial through ConnWrapper), and
+// medEng wraps every node's raw medium, returning the wrapped devices by
+// node so the medium drills can drive them.
+func (h *adversaryHarness) cluster(eng, medEng *adversary.Engine) (*ironsafe.Cluster, map[string]*adversary.Device, error) {
+	rc := resilience.Config{
+		HandshakeTimeout: 500 * time.Millisecond,
+		IOTimeout:        h.cfg.IOTimeout,
+		// Sleep stays nil: retries back off virtually, so the run's pacing
+		// never depends on the wall clock.
+	}
+	ic := ironsafe.Config{
+		Mode:         ironsafe.IronSafe,
+		StorageNodes: h.cfg.Nodes,
+		Resilience:   &rc,
+	}
+	if eng != nil {
+		ic.ChannelTransport = true
+		ic.ConnWrapper = func(site string, conn net.Conn) net.Conn {
+			return adversary.WrapConn(conn, site, adversary.StorageProfile, eng)
+		}
+	}
+	var devs map[string]*adversary.Device
+	if medEng != nil {
+		devs = map[string]*adversary.Device{}
+		var mu sync.Mutex
+		ic.StorageDeviceWrapper = func(node string, dev pager.BlockDevice) pager.BlockDevice {
+			d := adversary.WrapDevice(dev, "medium:"+node, medEng)
+			mu.Lock()
+			devs[node] = d
+			mu.Unlock()
+			return d
+		}
+	}
+	c, err := ironsafe.NewCluster(ic)
+	return c, devs, err
+}
+
+func (h *adversaryHarness) load(c *ironsafe.Cluster, policy string) error {
+	if err := c.LoadTPCHData(h.data); err != nil {
+		return err
+	}
+	return c.SetAccessPolicy(policy)
+}
+
+// advOutcome is one watchdogged query's normalized result.
+type advOutcome struct {
+	ok        bool
+	class     string
+	rowsOK    bool
+	failovers int
+}
+
+// runQuery submits one query from the mix under the hang watchdog and folds
+// the outcome into the report's invariant counters.
+func (h *adversaryHarness) runQuery(session *ironsafe.Session, mix int) advOutcome {
+	type qr struct {
+		res *ironsafe.QueryResult
+		err error
+	}
+	ch := make(chan qr, 1)
+	go func() {
+		r, err := session.Query(tpch.Queries[QueryMix[mix]])
+		ch <- qr{r, err}
+	}()
+	select {
+	case r := <-ch:
+		o := advOutcome{class: classify(r.err)}
+		if r.err == nil {
+			o.ok = true
+			o.rowsOK = digestRows(r.res.Result) == h.expected[mix]
+			o.failovers = r.res.Stats.Failovers
+			h.rep.Succeeded++
+			if !o.rowsOK {
+				h.rep.WrongResults++
+			}
+		} else {
+			h.rep.Failed++
+			if o.class == "untyped" {
+				h.rep.Untyped++
+			}
+		}
+		return o
+	case <-time.After(h.cfg.QueryTimeout): //ironsafe:allow wallclock -- hang watchdog, the invariant under test
+		h.rep.Hangs++
+		return advOutcome{class: "hang"}
+	}
+}
+
+// guard runs a cluster operation (rebuild, restart) under the hang watchdog:
+// an attacked control operation that wedges is as broken as a wedged query.
+func (h *adversaryHarness) guard(what string, f func() error) error {
+	ch := make(chan error, 1)
+	go func() { ch <- f() }()
+	select {
+	case err := <-ch:
+		return err
+	case <-time.After(h.cfg.QueryTimeout): //ironsafe:allow wallclock -- hang watchdog, the invariant under test
+		h.rep.Hangs++
+		return fmt.Errorf("adversary sweep: %s hung", what)
+	}
+}
+
+// absorb folds an engine's attack trace into the digest and its per-class
+// counts into the report.
+func (h *adversaryHarness) absorb(tag string, eng *adversary.Engine) {
+	for _, line := range eng.Trace() {
+		fmt.Fprintf(h.acc, "%s %s\n", tag, line)
+	}
+	for cls, n := range eng.Stats() {
+		h.mounted[cls] += n
+	}
+}
+
+// phaseBroad drives the query mix with every frame-attack class armed at low
+// steady rates across all channel legs — the randomized soak that spreads
+// attacks over whatever protocol states the run passes through.
+func (h *adversaryHarness) phaseBroad() error {
+	eng := adversary.NewEngine(h.cfg.Seed,
+		adversary.Rule{Site: ":read", Class: adversary.Replay, Prob: 0.04, After: 2},
+		adversary.Rule{Site: ":read", Class: adversary.Duplicate, Prob: 0.03, After: 2},
+		adversary.Rule{Site: ":read", Class: adversary.Reorder, Prob: 0.02, After: 2},
+		adversary.Rule{Site: ":write", Class: adversary.Inject, Prob: 0.03, After: 2},
+		adversary.Rule{Site: ":write", Class: adversary.Splice, Prob: 0.02, After: 2},
+	)
+	c, _, err := h.cluster(eng, nil)
+	if err != nil {
+		return fmt.Errorf("adversary sweep: broad cluster: %w", err)
+	}
+	if err := h.load(c, accessPolicy); err != nil {
+		return err
+	}
+	session := c.NewSession(clientKey)
+	for qi := 0; qi < h.cfg.Queries; qi++ {
+		mix := qi % len(QueryMix)
+		o := h.runQuery(session, mix)
+		fmt.Fprintf(h.acc, "A q%02d mix=%d ok=%t class=%s rows-ok=%t failovers=%d\n",
+			qi, mix, o.ok, o.class, o.ok && o.rowsOK, o.failovers)
+	}
+	h.absorb("A", eng)
+	return nil
+}
+
+// phaseGrid is the conformance grid: a rule-less probe run counts protocol
+// units per leg, then every frame-attack class is planted at every early step
+// of the most-trafficked node's read and write legs — one fresh cluster, one
+// fresh engine, exactly one armed attack per cell — plus replay and splice of
+// the identity units (preamble, handshake public keys). Step 0 of a frame leg
+// is the key-confirmation frame, so the grid covers the handshake itself.
+func (h *adversaryHarness) phaseGrid() error {
+	const gridMix = 2 // QueryMix[2] == q6: the cheapest query in the mix
+
+	probe := adversary.NewEngine(h.cfg.Seed)
+	c, _, err := h.cluster(probe, nil)
+	if err != nil {
+		return fmt.Errorf("adversary sweep: probe cluster: %w", err)
+	}
+	if err := h.load(c, accessPolicy); err != nil {
+		return err
+	}
+	if o := h.runQuery(c.NewSession(clientKey), gridMix); !o.ok || !o.rowsOK {
+		return fmt.Errorf("adversary sweep: clean probe failed (class=%s)", o.class)
+	}
+	ids := nodeIDs(h.cfg.Nodes)
+	gridNode := ids[0]
+	for _, id := range ids {
+		if probe.OpsAt(id+":read") > probe.OpsAt(gridNode+":read") {
+			gridNode = id
+		}
+	}
+
+	frameClasses := []adversary.Class{
+		adversary.Replay, adversary.Duplicate, adversary.Reorder,
+		adversary.Splice, adversary.Inject,
+	}
+	cell := 0
+	for _, dir := range []string{":read", ":write"} {
+		leg := gridNode + dir
+		steps := probe.OpsAt(leg)
+		if steps > h.cfg.MaxSteps {
+			steps = h.cfg.MaxSteps
+		}
+		for _, cls := range frameClasses {
+			for step := 0; step < steps; step++ {
+				if err := h.gridCell(cell, gridMix, adversary.Rule{
+					Site: leg, Class: cls, Prob: 1, After: step, MaxCount: 1,
+				}); err != nil {
+					return err
+				}
+				cell++
+			}
+		}
+	}
+	// Identity steps: Replay mounts a unit recorded from a previous session,
+	// Splice stitches a different session's unit into this connection setup.
+	for _, sub := range []string{":read:pubkey", ":write:pubkey", ":write:preamble"} {
+		for _, cls := range []adversary.Class{adversary.Replay, adversary.Splice} {
+			if err := h.gridCell(cell, gridMix, adversary.Rule{
+				Site: gridNode + sub, Class: cls, Prob: 1, MaxCount: 1,
+			}); err != nil {
+				return err
+			}
+			cell++
+		}
+	}
+	h.rep.Cells = cell
+	return nil
+}
+
+func (h *adversaryHarness) gridCell(idx, mix int, rule adversary.Rule) error {
+	eng := adversary.NewEngine(h.cfg.Seed^(uint64(idx+1)*0x9e3779b97f4a7c15), rule)
+	seedIdentityMaterial(eng, rule)
+	c, _, err := h.cluster(eng, nil)
+	if err != nil {
+		return fmt.Errorf("adversary sweep: cell %d cluster: %w", idx, err)
+	}
+	if err := h.load(c, accessPolicy); err != nil {
+		return err
+	}
+	o := h.runQuery(c.NewSession(clientKey), mix)
+	fmt.Fprintf(h.acc, "B cell=%02d %s@%s+%d ok=%t class=%s rows-ok=%t failovers=%d\n",
+		idx, rule.Class, rule.Site, rule.After, o.ok, o.class, o.ok && o.rowsOK, o.failovers)
+	h.absorb(fmt.Sprintf("B%02d", idx), eng)
+	return nil
+}
+
+// seedIdentityMaterial stocks the adversary's library with previous-session
+// identity units so identity-step Replay/Splice cells have real-shaped
+// material to mount: a stale session's preamble, a stale session's 32-byte
+// public key. Frame cells need nothing — the engine records live frames.
+func seedIdentityMaterial(eng *adversary.Engine, rule adversary.Rule) {
+	switch {
+	case strings.HasSuffix(rule.Site, ":pubkey"):
+		old := make([]byte, 32)
+		for i := range old {
+			old[i] = byte(i*37 + 11)
+		}
+		eng.Record(rule.Site, old)
+		eng.Record("previous-session:pubkey", old)
+	case strings.HasSuffix(rule.Site, ":preamble"):
+		// Shaped exactly like a live query-session preamble: 1-byte length +
+		// "sess-NNNNNN-hhhhhhhh" (20 bytes).
+		sid := "sess-999999-deadbeef"
+		pre := append([]byte{byte(len(sid))}, sid...)
+		eng.Record(rule.Site, pre)
+		eng.Record("previous-session:preamble", pre)
+	}
+}
+
+// advListener adapts a channel of pipe ends to net.Listener so a real
+// ctl.Server serves MITM-wrapped in-memory connections.
+type advListener struct {
+	mu     sync.Mutex
+	ch     chan net.Conn
+	closed bool
+}
+
+func newAdvListener() *advListener { return &advListener{ch: make(chan net.Conn, 8)} }
+
+func (l *advListener) Accept() (net.Conn, error) {
+	c, ok := <-l.ch
+	if !ok {
+		return nil, net.ErrClosed
+	}
+	return c, nil
+}
+
+func (l *advListener) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.closed {
+		l.closed = true
+		close(l.ch)
+	}
+	return nil
+}
+
+func (l *advListener) Addr() net.Addr { return advAddr{} }
+
+// dial hands the server half of a fresh pipe to the accept loop and returns
+// the client half.
+func (l *advListener) dial() net.Conn {
+	a, b := net.Pipe()
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		a.Close()
+		b.Close()
+		return a
+	}
+	l.ch <- b
+	l.mu.Unlock()
+	return a
+}
+
+type advAddr struct{}
+
+func (advAddr) Network() string { return "adv-pipe" }
+func (advAddr) String() string  { return "adv-pipe" }
+
+// phaseIngest attacks the client→cluster control link under streaming ingest:
+// forged plaintext overload banners on dial, replayed and duplicated ack
+// frames, forged request frames. The data plane stays honest — the drill's
+// subject is the ack contract: after the run, every OK-acked record must be
+// durable on every replica. A forged ack toward the client can only manifest
+// as an acked-but-absent record, which this audit catches.
+func (h *adversaryHarness) phaseIngest() error {
+	eng := adversary.NewEngine(h.cfg.Seed^0xA5A5A5A5A5A5A5A5,
+		adversary.Rule{Site: "ctl:ingest:read:banner", Class: adversary.Banner, Prob: 1, MaxCount: 1},
+		adversary.Rule{Site: "ctl:ingest:read", Class: adversary.Replay, Prob: 0.12, After: 3, MaxCount: 2},
+		adversary.Rule{Site: "ctl:ingest:read", Class: adversary.Duplicate, Prob: 0.10, After: 3, MaxCount: 2},
+		adversary.Rule{Site: "ctl:ingest:write", Class: adversary.Inject, Prob: 0.10, After: 3, MaxCount: 2},
+	)
+	c, _, err := h.cluster(nil, nil)
+	if err != nil {
+		return fmt.Errorf("adversary sweep: ingest cluster: %w", err)
+	}
+	if err := h.load(c, ingestAccessPolicy); err != nil {
+		return err
+	}
+	for _, s := range c.Storage {
+		if _, err := s.DB().Execute("CREATE TABLE ingest_ev (id INTEGER, client TEXT, note TEXT)"); err != nil {
+			return err
+		}
+	}
+	pipe, err := c.IngestPipeline(ingest.Config{BatchMax: 4, QueueMax: 256})
+	if err != nil {
+		return err
+	}
+	defer pipe.Close()
+
+	psk := []byte("adversary-ctl-psk")
+	srv := ctl.NewServer(psk)
+	srv.HandshakeTimeout = 2 * time.Second
+	ingest.RegisterCtl(srv, pipe)
+	ln := newAdvListener()
+	defer ln.Close()
+	go srv.Serve(ln)
+
+	// Generous I/O bounds: the attacks fail fast via AEAD rejection; the
+	// deadlines only exist to bound a truly wedged pipe.
+	rcfg := resilience.Config{IOTimeout: 5 * time.Second}.WithDefaults()
+	dials := 0
+	dial := func() (*ctl.Client, error) {
+		for attempt := 0; attempt < 6; attempt++ {
+			wrapped := adversary.WrapConn(ln.dial(), "ctl:ingest", adversary.CtlProfile, eng)
+			cli, err := ctl.ClientConn(wrapped, psk, rcfg)
+			class := classify(err)
+			fmt.Fprintf(h.acc, "C dial%02d class=%s\n", dials, class)
+			dials++
+			if err == nil {
+				return cli, nil
+			}
+			wrapped.Close()
+			if class == "untyped" {
+				h.rep.Untyped++
+			}
+		}
+		return nil, errors.New("adversary sweep: ctl dial attempts exhausted")
+	}
+
+	cli, err := dial()
+	if err != nil {
+		return err
+	}
+	acked := make([]bool, h.cfg.IngestRecords)
+	for ri := 0; ri < h.cfg.IngestRecords; ri++ {
+		sql := fmt.Sprintf("INSERT INTO ingest_ev (id, client, note) VALUES (%d, 'adv', '%s')",
+			9000+ri, ingestPayload(h.cfg.Seed, 99, ri, 0))
+		ack, err := ingest.SubmitCtl(cli, ingest.Record{Client: ingestClientKey, SQL: sql})
+		class := classify(err)
+		affected := -1
+		if err == nil {
+			acked[ri] = true
+			affected = ack.Affected
+			if affected != 1 {
+				h.rep.AckViolations++
+			}
+		}
+		fmt.Fprintf(h.acc, "C r%02d ok=%t class=%s affected=%d\n", ri, err == nil, class, affected)
+		if err != nil {
+			if class == "untyped" {
+				h.rep.Untyped++
+			}
+			// The channel is torn or poisoned; re-dial. The record is NOT
+			// retried — its fate is unknown, and only the ack contract below
+			// judges it: errored-but-applied is legal, acked-but-absent never.
+			cli.Close()
+			if cli, err = dial(); err != nil {
+				return err
+			}
+		}
+	}
+	cli.Close()
+
+	// The forged-ack audit: every acked insert is durable on every replica.
+	ackedCount := 0
+	for ri, ok := range acked {
+		if !ok {
+			continue
+		}
+		ackedCount++
+		for _, s := range c.Storage {
+			res, err := s.DB().Execute(fmt.Sprintf("SELECT count(*) FROM ingest_ev WHERE id = %d", 9000+ri))
+			if err != nil {
+				return err
+			}
+			if res.Rows[0][0].AsInt() != 1 {
+				h.rep.AckViolations++
+			}
+		}
+	}
+	// And the replicas agree with each other byte-for-byte logically.
+	var first string
+	for i, s := range c.Storage {
+		d, err := ingestTableDigest(s.DB(), "ingest_ev")
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			first = d
+		} else if d != first {
+			return fmt.Errorf("adversary sweep: ingest replica %d diverged", i)
+		}
+	}
+	fmt.Fprintf(h.acc, "C final %s acked=%d violations=%d\n", first, ackedCount, h.rep.AckViolations)
+	h.absorb("C", eng)
+	return nil
+}
+
+// phaseMedium drives the valid-old-state medium attacks against one node:
+// first a reopen whose every read of a since-changed block serves the
+// captured stale image (the store's recovery or integrity sweep must refuse
+// readmission), then a whole-medium rollback to the captured state (same
+// refusal), then an honest restore that must readmit cleanly.
+func (h *adversaryHarness) phaseMedium() error {
+	eng := adversary.NewEngine(h.cfg.Seed ^ 0x5D5D5D5D5D5D5D5D)
+	c, devs, err := h.cluster(nil, eng)
+	if err != nil {
+		return fmt.Errorf("adversary sweep: medium cluster: %w", err)
+	}
+	if err := h.load(c, accessPolicy); err != nil {
+		return err
+	}
+	ids := nodeIDs(h.cfg.Nodes)
+	victim := ids[len(ids)-1]
+	dev := devs[victim]
+	if dev == nil {
+		return fmt.Errorf("adversary sweep: no wrapped medium for %s", victim)
+	}
+
+	// Capture now, then evolve the media past this point so the captured
+	// images are genuinely stale valid states — mirroring chaos.Run.
+	dev.Capture()
+	if err := markMedia(c); err != nil {
+		return err
+	}
+	good, err := c.SnapshotStorage(victim)
+	if err != nil {
+		return err
+	}
+	session := c.NewSession(clientKey)
+
+	// Stale-read reopen: recovery and the integrity sweep read the medium,
+	// and every shadowed block serves its captured old image. The node must
+	// be refused — at reopen (journal recovery detects the stale anchor) or
+	// at readmission (the full sweep does) — and the refusal must be typed.
+	c.KillStorage(victim)
+	dev.ArmStaleReads(1 << 20)
+	refusedAt := ""
+	switch err := h.guard("stale-read restart", func() error { return c.RestartStorage(victim, nil) }); {
+	case errors.Is(err, ironsafe.ErrNodeNotReadmitted):
+		refusedAt = "reopen"
+	case err != nil:
+		return fmt.Errorf("adversary sweep: stale-read restart refusal had wrong type: %w", err)
+	default:
+		if err := c.ReattestStorage(victim); err == nil {
+			return errors.New("adversary sweep: node serving stale reads was readmitted")
+		} else if !errors.Is(err, ironsafe.ErrNodeNotReadmitted) {
+			return fmt.Errorf("adversary sweep: stale-read refusal had wrong type: %w", err)
+		}
+		refusedAt = "readmission"
+	}
+	fmt.Fprintf(h.acc, "D stale-read refused at %s\n", refusedAt)
+
+	// Disarm; the medium underneath was never altered, so an honest reopen
+	// readmits and serves correct rows.
+	dev.ArmStaleReads(0)
+	if err := h.guard("honest restart", func() error { return c.RestartStorage(victim, nil) }); err != nil {
+		return fmt.Errorf("adversary sweep: honest restart after stale reads: %w", err)
+	}
+	if err := c.ReattestStorage(victim); err != nil {
+		return fmt.Errorf("adversary sweep: honest readmission after stale reads: %w", err)
+	}
+	o := h.runQuery(session, 0)
+	fmt.Fprintf(h.acc, "D post-stale ok=%t class=%s rows-ok=%t\n", o.ok, o.class, o.ok && o.rowsOK)
+	if !o.ok || !o.rowsOK {
+		return fmt.Errorf("adversary sweep: post-stale query wrong (class=%s)", o.class)
+	}
+
+	// Whole-medium rollback to the captured valid old state.
+	c.KillStorage(victim)
+	if err := dev.Rollback(); err != nil {
+		return err
+	}
+	switch err := h.guard("rollback restart", func() error { return c.RestartStorage(victim, nil) }); {
+	case errors.Is(err, ironsafe.ErrNodeNotReadmitted):
+		fmt.Fprintf(h.acc, "D rollback refused at reopen class=%s\n", classify(err))
+	case err != nil:
+		return fmt.Errorf("adversary sweep: rollback restart refusal had wrong type: %w", err)
+	default:
+		if err := c.ReattestStorage(victim); err == nil {
+			return errors.New("adversary sweep: rolled-back node was readmitted")
+		} else if !errors.Is(err, ironsafe.ErrNodeNotReadmitted) {
+			return fmt.Errorf("adversary sweep: rollback refusal had wrong type: %w", err)
+		}
+		fmt.Fprintf(h.acc, "D rollback refused at readmission\n")
+	}
+
+	// Honest restore: current state back, readmission passes, rows correct.
+	if err := h.guard("restore restart", func() error { return c.RestartStorage(victim, good) }); err != nil {
+		return err
+	}
+	if err := c.ReattestStorage(victim); err != nil {
+		return fmt.Errorf("adversary sweep: honest restore refused: %w", err)
+	}
+	o = h.runQuery(session, 0)
+	fmt.Fprintf(h.acc, "D restored ok=%t class=%s rows-ok=%t\n", o.ok, o.class, o.ok && o.rowsOK)
+	if !o.ok || !o.rowsOK {
+		return fmt.Errorf("adversary sweep: post-restore query wrong (class=%s)", o.class)
+	}
+	h.absorb("D", eng)
+	return nil
+}
+
+// phaseRebuild attacks the rebuild transfer itself: the import leg toward the
+// rebuilt node replays stale chunks, the export leg from the donor splices in
+// other-session material (the malicious-donor shape). Attacked attempts must
+// fail typed with the node still quarantined; the bounded attack budget then
+// lets a clean attempt through, after which readmission and correct rows are
+// required.
+func (h *adversaryHarness) phaseRebuild() error {
+	eng := adversary.NewEngine(h.cfg.Seed ^ 0xEBEBEBEBEBEBEBEB)
+	c, _, err := h.cluster(eng, nil)
+	if err != nil {
+		return fmt.Errorf("adversary sweep: rebuild cluster: %w", err)
+	}
+	if err := h.load(c, accessPolicy); err != nil {
+		return err
+	}
+	ids := nodeIDs(h.cfg.Nodes)
+	victim, donor := ids[len(ids)-1], ids[0]
+	c.KillStorage(victim)
+
+	// Each rebuild attempt dials fresh legs with fresh keys, so a replayed
+	// unit is cross-session material by construction.
+	eng.Arm(adversary.Rule{Site: "rebuild:" + victim, Class: adversary.Replay, Prob: 1, MaxCount: 2})
+	eng.Arm(adversary.Rule{Site: "rebuild:" + donor, Class: adversary.Splice, Prob: 1, MaxCount: 2})
+
+	var rbErr error
+	for attempt := 0; attempt < 6; attempt++ {
+		rbErr = h.guard("rebuild", func() error { return c.RebuildStorage(victim, donor) })
+		class := classify(rbErr)
+		fmt.Fprintf(h.acc, "E rebuild attempt=%d ok=%t class=%s\n", attempt, rbErr == nil, class)
+		if rbErr == nil {
+			break
+		}
+		if class == "untyped" {
+			h.rep.Untyped++
+		}
+		if !c.NodeDown(victim) {
+			return errors.New("adversary sweep: failed rebuild left the node admitted")
+		}
+	}
+	if rbErr != nil {
+		return fmt.Errorf("adversary sweep: rebuild never recovered: %w", rbErr)
+	}
+	if err := c.ReattestStorage(victim); err != nil {
+		return fmt.Errorf("adversary sweep: rebuilt node refused: %w", err)
+	}
+	o := h.runQuery(c.NewSession(clientKey), 0)
+	fmt.Fprintf(h.acc, "E rebuilt ok=%t class=%s rows-ok=%t\n", o.ok, o.class, o.ok && o.rowsOK)
+	if !o.ok || !o.rowsOK {
+		return fmt.Errorf("adversary sweep: post-rebuild query wrong (class=%s)", o.class)
+	}
+	h.absorb("E", eng)
+	return nil
+}

@@ -1,0 +1,78 @@
+package chaos
+
+import (
+	"testing"
+
+	"ironsafe/internal/adversary"
+)
+
+// adversaryTestConfig keeps the in-tree runs affordable; the Makefile sweep
+// drives the full default grid.
+func adversaryTestConfig(seed uint64) AdversaryConfig {
+	return AdversaryConfig{
+		Seed:          seed,
+		Queries:       6,
+		MaxSteps:      1,
+		IngestRecords: 6,
+	}
+}
+
+// TestAdversaryConformance runs one full adversary sweep and asserts the
+// fail-closed contract: every attack class mounted, zero wrong results, zero
+// unbacked acks, zero untyped failures, zero hangs.
+func TestAdversaryConformance(t *testing.T) {
+	rep, err := RunAdversary(adversaryTestConfig(7))
+	if err != nil {
+		t.Fatalf("RunAdversary: %v", err)
+	}
+	if rep.Hangs != 0 {
+		t.Errorf("hangs = %d, want 0", rep.Hangs)
+	}
+	if rep.WrongResults != 0 {
+		t.Errorf("wrong results = %d, want 0", rep.WrongResults)
+	}
+	if rep.Untyped != 0 {
+		t.Errorf("untyped failures = %d, want 0", rep.Untyped)
+	}
+	if rep.AckViolations != 0 {
+		t.Errorf("ack violations = %d, want 0", rep.AckViolations)
+	}
+	if rep.Cells == 0 || rep.Attacks == 0 {
+		t.Errorf("cells = %d, attacks = %d; the grid must have run", rep.Cells, rep.Attacks)
+	}
+	mounted := map[adversary.Class]bool{}
+	for _, cls := range rep.Mounted {
+		mounted[cls] = true
+	}
+	for _, cls := range []adversary.Class{
+		adversary.Replay, adversary.Duplicate, adversary.Reorder,
+		adversary.Splice, adversary.Inject, adversary.Banner,
+		adversary.StaleRead, adversary.Rollback,
+	} {
+		if !mounted[cls] {
+			t.Errorf("attack class %s was never mounted", cls)
+		}
+	}
+}
+
+// TestAdversaryDeterminism re-runs the sweep for several seeds and demands
+// byte-identical digests: the attack schedule, every outcome, and every trace
+// line must be a pure function of the seed.
+func TestAdversaryDeterminism(t *testing.T) {
+	for _, seed := range []uint64{3, 11, 42} {
+		first, err := RunAdversary(adversaryTestConfig(seed))
+		if err != nil {
+			t.Fatalf("seed %d run 1: %v", seed, err)
+		}
+		second, err := RunAdversary(adversaryTestConfig(seed))
+		if err != nil {
+			t.Fatalf("seed %d run 2: %v", seed, err)
+		}
+		if first.Digest != second.Digest {
+			t.Errorf("seed %d digests differ: %s vs %s", seed, first.Digest, second.Digest)
+		}
+		if first.Attacks != second.Attacks {
+			t.Errorf("seed %d attack counts differ: %d vs %d", seed, first.Attacks, second.Attacks)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"strings"
 	"time"
@@ -175,6 +176,26 @@ func classify(err error) string {
 		return "channel-auth"
 	case errors.Is(err, transport.ErrFrameTooLarge):
 		return "channel-framing"
+	case errors.Is(err, transport.ErrMalformed):
+		return "channel-malformed"
+	// A torn channel — the peer closed mid-exchange, typically because it
+	// detected an attack on its side and failed closed. The tear itself is a
+	// recognizable condition, not an untyped leak; retry and failover absorb
+	// it like any connection loss.
+	case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF),
+		errors.Is(err, io.ErrClosedPipe), errors.Is(err, net.ErrClosed):
+		return "channel-torn"
+	// Adversary-path classes: every way the secure store can refuse
+	// tampered, stale, or rolled-back state must classify, so the adversary
+	// sweep can assert no attack ever surfaces untyped.
+	case errors.Is(err, securestore.ErrFreshness):
+		return "freshness"
+	case errors.Is(err, securestore.ErrIntegrity):
+		return "integrity"
+	case errors.Is(err, securestore.ErrJournalCorrupt):
+		return "journal-corrupt"
+	case errors.Is(err, securestore.ErrRebuildMismatch):
+		return "rebuild-mismatch"
 	case errors.Is(err, faultinject.ErrInjected):
 		return "injected"
 	// Write-path classes: the ingest sweep demands that every refusal on the

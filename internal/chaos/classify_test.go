@@ -1,0 +1,86 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"testing"
+
+	"ironsafe"
+	"ironsafe/internal/ctl"
+	"ironsafe/internal/faultinject"
+	"ironsafe/internal/hostengine"
+	"ironsafe/internal/ingest"
+	"ironsafe/internal/monitor"
+	"ironsafe/internal/resilience"
+	"ironsafe/internal/securestore"
+	"ironsafe/internal/transport"
+)
+
+// TestClassifyCoversTypedFailures pins the classification of every typed
+// error the sweeps — including the adversary sweep — can surface, bare and
+// wrapped. No typed failure may leak through as "untyped": the fail-closed
+// contract is only checkable if every refusal has a name.
+func TestClassifyCoversTypedFailures(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, "ok"},
+		{ironsafe.ErrNodeNotReadmitted, "not-readmitted"},
+		{ironsafe.ErrEpochFenced, "epoch-fenced"},
+		{ironsafe.ErrNodeNotDown, "not-down"},
+		{securestore.ErrRebuilding, "rebuilding"},
+		{hostengine.ErrAllNodesFailed, "all-nodes-failed"},
+		{ironsafe.ErrNoStorage, "no-storage"},
+		{resilience.ErrCircuitOpen, "circuit-open"},
+		{resilience.ErrNodeDown, "node-down"},
+		{resilience.ErrBudgetExhausted, "budget-exhausted"},
+		{resilience.ErrExhausted, "exhausted"},
+		{transport.ErrAuth, "channel-auth"},
+		{transport.ErrFrameTooLarge, "channel-framing"},
+		{transport.ErrMalformed, "channel-malformed"},
+		{io.EOF, "channel-torn"},
+		{io.ErrUnexpectedEOF, "channel-torn"},
+		{io.ErrClosedPipe, "channel-torn"},
+		{net.ErrClosed, "channel-torn"},
+		{securestore.ErrFreshness, "freshness"},
+		{securestore.ErrIntegrity, "integrity"},
+		{securestore.ErrJournalCorrupt, "journal-corrupt"},
+		{securestore.ErrRebuildMismatch, "rebuild-mismatch"},
+		{faultinject.ErrInjected, "injected"},
+		{ctl.ErrOverloaded, "overloaded"},
+		{monitor.ErrDenied, "denied"},
+		{ingest.ErrNotDML, "not-dml"},
+		{ingest.ErrClosed, "ingest-closed"},
+		{ingest.ErrDiverged, "ingest-diverged"},
+		{securestore.ErrStoreFailed, "store-failed"},
+	}
+	for _, tc := range cases {
+		if got := classify(tc.err); got != tc.want {
+			t.Errorf("classify(%v) = %q, want %q", tc.err, got, tc.want)
+		}
+		if tc.err == nil {
+			continue
+		}
+		// Wrapped forms — how the errors actually arrive: a dial wrapper, a
+		// poisoned-channel wrapper, a retry exhaustion — must keep the class.
+		wrapped := fmt.Errorf("hostengine: channel to storage-01 poisoned by earlier exchange failure: %w", tc.err)
+		if got := classify(wrapped); got != tc.want {
+			t.Errorf("classify(wrapped %v) = %q, want %q", tc.err, got, tc.want)
+		}
+	}
+
+	// Precedence pins: a readmission refusal that wraps a freshness failure
+	// keeps its own (more specific) class.
+	combo := fmt.Errorf("%w: %w", ironsafe.ErrNodeNotReadmitted, securestore.ErrFreshness)
+	if got := classify(combo); got != "not-readmitted" {
+		t.Errorf("classify(not-readmitted wrapping freshness) = %q, want not-readmitted", got)
+	}
+
+	// The typed *OverloadedError from a (possibly forged) banner classifies
+	// through its ErrOverloaded unwrap.
+	if got := classify(&ctl.OverloadedError{RetryAfter: ctl.MaxBannerRetryAfter}); got != "overloaded" {
+		t.Errorf("classify(*OverloadedError) = %q, want overloaded", got)
+	}
+}

@@ -27,6 +27,14 @@ type Handler func(req []byte) (any, error)
 // client should back off for the advertised retry-after and try again.
 var ErrOverloaded = errors.New("ctl: server overloaded")
 
+// MaxBannerRetryAfter caps the retry-after a client will honor from an
+// overload banner. The banner is plaintext and pre-handshake — the one
+// protocol unit a man-in-the-middle can forge without key material — so its
+// retry-after is a *hint*, never an authenticated instruction: an adversary
+// advertising a huge backoff can delay a client by at most this much per
+// attempt, not deny it.
+const MaxBannerRetryAfter = 2 * time.Second
+
 // OverloadedError carries the server's advertised retry-after alongside
 // ErrOverloaded.
 type OverloadedError struct {
@@ -362,6 +370,11 @@ func (s *Server) dispatch(cmd string, h Handler, payload []byte) (out any, err e
 type Client struct {
 	mu sync.Mutex
 	sc *transport.SecureConn
+	// broken poisons the client after a failed Send/Recv exchange: the
+	// sequence-bound channel is desynced past repair (a later Recv could
+	// only consume a frame belonging to the failed exchange), so every
+	// subsequent Call fails fast instead of blocking on stale state.
+	broken error
 }
 
 // Dial connects a control client with default resilience.
@@ -371,15 +384,52 @@ func Dial(addr string, psk []byte) (*Client, error) {
 
 // DialResilient connects a control client with retrying, deadline-bounded
 // dial and handshake per the supplied resilience config. The server's
-// admission banner is read first: an overload refusal surfaces as a typed
-// *OverloadedError (errors.Is ErrOverloaded) carrying the advertised
-// retry-after, so callers can back off instead of hammering a saturated
-// control plane.
+// admission banner is read first. An overload refusal is a *hint*, not a
+// verdict: the client backs off for the advertised retry-after — capped at
+// MaxBannerRetryAfter, since the banner is forgeable plaintext — and
+// re-dials, up to cfg.DialAttempts connections. Only after exhausting the
+// attempts does the typed *OverloadedError (errors.Is ErrOverloaded)
+// surface, so a MITM forging overload banners can delay a client, never
+// terminally deny it.
 func DialResilient(addr string, psk []byte, cfg resilience.Config) (*Client, error) {
-	conn, err := resilience.DialTCP(addr, cfg)
-	if err != nil {
-		return nil, err
+	attempts := cfg.DialAttempts
+	if attempts < 1 {
+		attempts = 1
 	}
+	var lastOverload error
+	for i := 0; i < attempts; i++ {
+		conn, err := resilience.DialTCP(addr, cfg)
+		if err != nil {
+			return nil, err
+		}
+		c, err := clientConn(conn, psk, cfg)
+		if err == nil {
+			return c, nil
+		}
+		conn.Close()
+		var oe *OverloadedError
+		if !errors.As(err, &oe) {
+			return nil, fmt.Errorf("ctl: handshake with %s: %w", addr, err)
+		}
+		lastOverload = err
+		if i+1 < attempts && cfg.Sleep != nil {
+			cfg.Sleep(capRetryAfter(oe.RetryAfter))
+		}
+	}
+	return nil, lastOverload
+}
+
+// ClientConn runs the control-plane client side — admission banner, secure
+// handshake, I/O timeout — over an already-established connection. It is
+// DialResilient minus the dialing, for deployments that bring their own
+// connections (in-process pipes, custom tunnels). An overload refusal
+// surfaces as the typed *OverloadedError with its retry-after capped at
+// MaxBannerRetryAfter; the caller owns re-dialing.
+func ClientConn(conn net.Conn, psk []byte, cfg resilience.Config) (*Client, error) {
+	return clientConn(conn, psk, cfg)
+}
+
+func clientConn(conn net.Conn, psk []byte, cfg resilience.Config) (*Client, error) {
 	var sc *transport.SecureConn
 	hsErr := resilience.WithConnDeadline(conn, cfg.HandshakeTimeout, func() error {
 		if err := readBanner(conn); err != nil {
@@ -390,16 +440,24 @@ func DialResilient(addr string, psk []byte, cfg resilience.Config) (*Client, err
 		return err
 	})
 	if hsErr != nil {
-		conn.Close()
-		if errors.Is(hsErr, ErrOverloaded) {
-			return nil, hsErr
-		}
-		return nil, fmt.Errorf("ctl: handshake with %s: %w", addr, hsErr)
+		return nil, hsErr
 	}
 	if cfg.IOTimeout > 0 {
 		sc.SetIOTimeout(cfg.IOTimeout)
 	}
 	return &Client{sc: sc}, nil
+}
+
+// capRetryAfter bounds an advertised (unauthenticated) retry-after to
+// [1ms, MaxBannerRetryAfter].
+func capRetryAfter(d time.Duration) time.Duration {
+	if d > MaxBannerRetryAfter {
+		return MaxBannerRetryAfter
+	}
+	if d < time.Millisecond {
+		return time.Millisecond
+	}
+	return d
 }
 
 // readBanner consumes the server's plaintext admission banner. A proceed
@@ -419,7 +477,9 @@ func readBanner(conn net.Conn) error {
 		if _, err := io.ReadFull(conn, ra[:]); err == nil {
 			retry = time.Duration(binary.LittleEndian.Uint32(ra[:])) * time.Millisecond
 		}
-		return &OverloadedError{RetryAfter: retry}
+		// The banner is forgeable plaintext: its retry-after is advisory and
+		// is never honored past MaxBannerRetryAfter.
+		return &OverloadedError{RetryAfter: capRetryAfter(retry)}
 	default:
 		return fmt.Errorf("ctl: unexpected admission banner 0x%02x", b[0])
 	}
@@ -438,11 +498,16 @@ func (c *Client) Call(cmd string, req any, resp any) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.broken != nil {
+		return fmt.Errorf("ctl: connection poisoned by earlier exchange failure: %w", c.broken)
+	}
 	if err := c.sc.Send(cmd, blob); err != nil {
+		c.broken = err
 		return err
 	}
 	typ, payload, err := c.sc.Recv()
 	if err != nil {
+		c.broken = err
 		return err
 	}
 	if typ == "error" {

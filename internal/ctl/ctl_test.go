@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"ironsafe/internal/resilience"
 )
 
 func startServer(t *testing.T, psk []byte) (string, *Server) {
@@ -135,8 +137,9 @@ func TestOverloadRefusalIsTyped(t *testing.T) {
 	defer hold.Close()
 
 	// No queue configured: saturation refuses immediately, with the typed
-	// banner instead of a silent close.
-	_, err = Dial(addr, []byte("psk"))
+	// banner instead of a silent close. A single-attempt dial observes the
+	// refusal directly (multi-attempt dials retry through it by design).
+	_, err = DialResilient(addr, []byte("psk"), resilience.Config{DialAttempts: 1}.WithDefaults())
 	if !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("err = %v, want ErrOverloaded", err)
 	}
@@ -208,7 +211,7 @@ func TestQueueWaitExpiryRefusesTyped(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer hold.Close()
-	if _, err := Dial(addr, []byte("psk")); !errors.Is(err, ErrOverloaded) {
+	if _, err := DialResilient(addr, []byte("psk"), resilience.Config{DialAttempts: 1}.WithDefaults()); !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("expired queue wait: err = %v, want ErrOverloaded", err)
 	}
 	if _, q, shed := srv.Stats(); q != 0 || shed != 1 {

@@ -94,6 +94,16 @@ type RemoteNode struct {
 	// left.
 	budget        *resilience.Budget
 	baseIOTimeout time.Duration
+
+	// broken poisons the channel after a failed exchange. The transport's
+	// sequence-bound AEAD already guarantees a stale, duplicated, or spliced
+	// frame can never be *accepted* (its nonce is wrong), but a channel that
+	// failed mid-exchange is desynced past repair: a later Offload's Recv
+	// would consume whatever frame belonged to the failed exchange and pay a
+	// decrypt-and-reject round trip for it. Fail fast instead; the cluster
+	// runtime already evicts reported-failed channels, so a poisoned node is
+	// never reused for a fresh query.
+	broken error
 }
 
 // SetBudget attaches the per-query deadline budget enforced on this channel.
@@ -175,6 +185,9 @@ const unbudgetedMicros = ^uint64(0)
 func (n *RemoteNode) Offload(sql string) (*exec.Result, int64, error) {
 	n.reqMu.Lock()
 	defer n.reqMu.Unlock()
+	if n.broken != nil {
+		return nil, 0, fmt.Errorf("hostengine: channel to %s poisoned by earlier exchange failure: %w", n.ID, n.broken)
+	}
 	budgetMicros := unbudgetedMicros
 	if n.budget != nil {
 		if n.budget.Exhausted() {
@@ -194,12 +207,16 @@ func (n *RemoteNode) Offload(sql string) (*exec.Result, int64, error) {
 	frame := make([]byte, 8, 8+len(sql))
 	binary.LittleEndian.PutUint64(frame, budgetMicros)
 	if err := n.Conn.Send("offload", append(frame, sql...)); err != nil {
+		n.broken = err
 		return nil, 0, err
 	}
 	typ, payload, err := n.Conn.Recv()
 	if err != nil {
+		n.broken = err
 		return nil, 0, err
 	}
+	// "budget" and "error" replies are *completed* exchanges — the channel
+	// stays in sync and usable; only wire-level failures below poison it.
 	if typ == "budget" {
 		return nil, 0, fmt.Errorf("hostengine: offload to %s refused by storage: %w", n.ID, resilience.ErrBudgetExhausted)
 	}
@@ -207,11 +224,13 @@ func (n *RemoteNode) Offload(sql string) (*exec.Result, int64, error) {
 		return nil, 0, errors.New("hostengine: storage error: " + string(payload))
 	}
 	if len(payload) < 8 {
-		return nil, 0, errors.New("hostengine: result frame too short for epoch stamp")
+		n.broken = errors.New("hostengine: result frame too short for epoch stamp")
+		return nil, 0, n.broken
 	}
 	n.lastEpoch = binary.LittleEndian.Uint64(payload[:8])
 	res, err := exec.DecodeResult(payload[8:])
 	if err != nil {
+		n.broken = err
 		return nil, 0, err
 	}
 	return res, int64(len(payload)), nil

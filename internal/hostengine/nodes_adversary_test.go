@@ -1,0 +1,100 @@
+package hostengine
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+
+	"ironsafe/internal/adversary"
+	"ironsafe/internal/schema"
+	"ironsafe/internal/sql/exec"
+	"ironsafe/internal/transport"
+)
+
+// TestAdversaryDuplicatedReplyRejectedNotConsumed puts a frame-duplicating MITM
+// on the storage channel: the first offload's reply frame is delivered twice.
+// The duplicate must never be consumed as the answer to the next offload —
+// the sequence-bound AEAD rejects it as transport.ErrAuth — and the channel
+// must then be poisoned so later offloads fail fast instead of blocking on a
+// desynced exchange.
+func TestAdversaryDuplicatedReplyRejectedNotConsumed(t *testing.T) {
+	key := []byte("storage-session-key")
+	eng := adversary.NewEngine(5, adversary.Rule{
+		Site: ":read", Class: adversary.Duplicate, Prob: 1, After: 1, MaxCount: 1,
+	})
+	clientRaw, serverRaw := net.Pipe()
+	wrapped := adversary.WrapConn(clientRaw, "node-x", adversary.StorageProfile, eng)
+
+	// Minimal honest storage peer: preamble, handshake, then one "result"
+	// reply (epoch stamp + empty result) per request.
+	go func() {
+		defer serverRaw.Close()
+		var l [1]byte
+		if _, err := io.ReadFull(serverRaw, l[:]); err != nil {
+			return
+		}
+		sid := make([]byte, int(l[0]))
+		if _, err := io.ReadFull(serverRaw, sid); err != nil {
+			return
+		}
+		srv, err := transport.Server(serverRaw, key, nil)
+		if err != nil {
+			return
+		}
+		blob, err := exec.EncodeResult(&exec.Result{Sch: schema.New()})
+		if err != nil {
+			t.Errorf("encoding empty result: %v", err)
+			return
+		}
+		for {
+			if _, _, err := srv.Recv(); err != nil {
+				return
+			}
+			reply := make([]byte, 8, 8+len(blob))
+			binary.LittleEndian.PutUint64(reply, 42)
+			if err := srv.Send("result", append(reply, blob...)); err != nil {
+				return
+			}
+		}
+	}()
+
+	node, err := NewRemoteNode(wrapped, "node-x", "sess", key, nil)
+	if err != nil {
+		t.Fatalf("handshake: %v", err)
+	}
+	defer node.Conn.Close()
+
+	// Exchange 1: the genuine reply arrives intact (the duplicate rides
+	// behind it, parked where the next reply should be).
+	if _, _, err := node.Offload("SELECT 1"); err != nil {
+		t.Fatalf("clean offload: %v", err)
+	}
+	if node.ReplyEpoch() != 42 {
+		t.Fatalf("epoch = %d, want 42", node.ReplyEpoch())
+	}
+
+	// Exchange 2: the stale duplicate must be rejected, never decoded as
+	// this offload's result.
+	_, _, err = node.Offload("SELECT 2")
+	if !errors.Is(err, transport.ErrAuth) {
+		t.Fatalf("offload against duplicated frame = %v, want transport.ErrAuth", err)
+	}
+
+	// Exchange 3: the channel is desynced past repair (the genuine second
+	// reply is still queued on the wire); the node must fail fast with the
+	// poisoned-channel error — not send, not block, not consume the stale
+	// frame.
+	_, _, err = node.Offload("SELECT 3")
+	if err == nil {
+		t.Fatal("offload on poisoned channel succeeded")
+	}
+	if !strings.Contains(err.Error(), "poisoned") {
+		t.Fatalf("offload on poisoned channel = %v, want poisoned-channel error", err)
+	}
+	if !errors.Is(err, transport.ErrAuth) {
+		t.Fatalf("poisoned error should preserve the root cause: %v", err)
+	}
+}

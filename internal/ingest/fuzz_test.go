@@ -1,0 +1,48 @@
+package ingest
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzWireAck feeds arbitrary bytes to the ingest wire-ack and wire-record
+// JSON decoders — the payloads a compromised ctl peer controls. Contract: no
+// panic, and any accepted payload must survive a re-marshal/re-unmarshal
+// cycle unchanged, so a forged ack cannot decode to a value the audit trail
+// would later serialize differently.
+func FuzzWireAck(f *testing.F) {
+	f.Add([]byte(`{"seq":1,"batch":1,"affected":1}`))
+	f.Add([]byte(`{"seq":18446744073709551615,"batch":0,"affected":-1}`))
+	f.Add([]byte(`{"client":"c-01","sql":"INSERT INTO ev VALUES (1)","date":"1995-01-27"}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"seq":"not a number"}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"seq":1e400}`))
+	f.Add([]byte(nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var ack WireAck
+		if err := json.Unmarshal(data, &ack); err == nil {
+			out, err := json.Marshal(&ack)
+			if err != nil {
+				t.Fatalf("accepted ack %+v does not re-marshal: %v", ack, err)
+			}
+			var again WireAck
+			if err := json.Unmarshal(out, &again); err != nil || again != ack {
+				t.Fatalf("ack round-trip diverged: %+v -> %s -> %+v (%v)", ack, out, again, err)
+			}
+		}
+		var rec WireRecord
+		if err := json.Unmarshal(data, &rec); err == nil {
+			out, err := json.Marshal(&rec)
+			if err != nil {
+				t.Fatalf("accepted record %+v does not re-marshal: %v", rec, err)
+			}
+			var again WireRecord
+			if err := json.Unmarshal(out, &again); err != nil || !reflect.DeepEqual(again, rec) {
+				t.Fatalf("record round-trip diverged: %+v -> %s -> %+v (%v)", rec, out, again, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,94 @@
+package securestore
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"testing"
+)
+
+// FuzzDecodeManifest feeds arbitrary bytes to the rebuild-manifest parser.
+// Contract: no panic, and any blob the parser accepts must re-encode to the
+// exact input — the codec admits only canonical encodings, so a forged
+// manifest cannot smuggle unparsed bytes past the target's verification.
+func FuzzDecodeManifest(f *testing.F) {
+	f.Add(EncodeManifest(&RebuildManifest{}))
+	one := &RebuildManifest{Seq: 7}
+	h := sha256.Sum256([]byte("page-0"))
+	one.PageHashes = append(one.PageHashes, h[:])
+	f.Add(EncodeManifest(one))
+	three := &RebuildManifest{Seq: 1 << 40}
+	for i := 0; i < 3; i++ {
+		hh := sha256.Sum256([]byte{byte(i)})
+		three.PageHashes = append(three.PageHashes, hh[:])
+	}
+	f.Add(EncodeManifest(three))
+	f.Add([]byte("ISRM"))                                                 // header only
+	f.Add(append(EncodeManifest(one), 0x00))                              // trailing byte
+	f.Add([]byte("ISRMxxxxxxxx\xff\xff\xff\xff"))                         // forged giant count
+	f.Add([]byte("MRSI\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00")) // wrong magic
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeManifest(data)
+		if err != nil {
+			if !errors.Is(err, ErrRebuildMismatch) {
+				t.Fatalf("decode error is not typed: %v", err)
+			}
+			return
+		}
+		if !bytes.Equal(EncodeManifest(m), data) {
+			t.Fatalf("accepted manifest (%d hashes) does not round-trip", len(m.PageHashes))
+		}
+	})
+}
+
+// fuzzJournalStore builds a store with only the journal key populated — all
+// decodeJournal touches.
+func fuzzJournalStore() *Store {
+	key := sha256.Sum256([]byte("journal-fuzz-key"))
+	return &Store{jnlKey: key[:]}
+}
+
+// FuzzDecodeJournal feeds arbitrary bytes to the redo-journal parser under a
+// fixed journal key. Contract: no panic; the only errors are nil (absent or
+// torn — recovery ignores the journal) and ErrJournalCorrupt (structurally
+// complete, authentication failed — recovery fails closed); and an accepted
+// record must re-encode to the exact input, so the authenticated encoding is
+// canonical.
+func FuzzDecodeJournal(f *testing.F) {
+	s := fuzzJournalStore()
+	tag := func(seed string) []byte {
+		h := sha256.Sum256([]byte(seed))
+		return h[:]
+	}
+	empty := &journalRecord{Seq: 1, PrevTag: tag("prev"), PostTag: tag("post"), PostN: 0}
+	f.Add(s.encodeJournal(empty))
+	rec := &journalRecord{Seq: 42, PrevTag: tag("a"), PostTag: tag("b"), PostN: 2, Entries: []journalEntry{
+		{Idx: 0, RecordMAC: tag("mac0"), Record: []byte("sealed-page-record-0")},
+		{Idx: 1, RecordMAC: tag("mac1"), Record: bytes.Repeat([]byte{0xC3}, 128)},
+	}}
+	genuine := s.encodeJournal(rec)
+	f.Add(genuine)
+	f.Add(genuine[:len(genuine)/2]) // torn write: prefix only
+	flipped := append([]byte(nil), genuine...)
+	flipped[len(journalMagic)+3] ^= 0x80
+	f.Add(flipped) // complete but tampered
+	f.Add([]byte("ISJ1"))
+	f.Add([]byte("not a journal"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		j, err := s.decodeJournal(data)
+		if err != nil {
+			if !errors.Is(err, ErrJournalCorrupt) {
+				t.Fatalf("decode error is not nil or ErrJournalCorrupt: %v", err)
+			}
+			return
+		}
+		if j == nil {
+			return // absent or torn
+		}
+		if !bytes.Equal(s.encodeJournal(j), data) {
+			t.Fatalf("accepted journal record (seq %d, %d entries) does not round-trip", j.Seq, len(j.Entries))
+		}
+	})
+}

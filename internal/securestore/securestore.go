@@ -665,6 +665,7 @@ func (s *Store) sealPageGCM(idx uint32, plain []byte) (record, recordMAC []byte,
 	}
 	var ad [4]byte
 	binary.LittleEndian.PutUint32(ad[:], idx)
+	//ironsafe:allow noncereuse -- fresh 96-bit crypto/rand nonce per seal, stored with the record; collision odds stay below 2^-32 past 2^32 page writes
 	ct := gcm.Seal(nil, nonce, plain, ad[:])
 	record = append(append([]byte{}, nonce...), ct...)
 	// The GCM tag (last 16 bytes) doubles as the record MAC for leaves.
@@ -686,6 +687,7 @@ func (s *Store) openPageGCM(idx uint32, record []byte) (plain, recordMAC []byte,
 	nonce, ct := record[:gcm.NonceSize()], record[gcm.NonceSize():]
 	var ad [4]byte
 	binary.LittleEndian.PutUint32(ad[:], idx)
+	//ironsafe:allow noncereuse -- nonce travels inside the record and is authenticated by the GCM tag; freshness comes from the Merkle root + RPMB anchor, not the nonce
 	plain, err = gcm.Open(nil, nonce, ct, ad[:])
 	if err != nil {
 		return nil, nil, fmt.Errorf("%w: page %d GCM auth failed", ErrIntegrity, idx)

@@ -222,7 +222,14 @@ func decodePageList(blob []byte) ([][]byte, error) {
 	}
 	n := binary.LittleEndian.Uint32(blob)
 	pos := 4
-	pages := make([][]byte, 0, n)
+	// Preallocate only what the blob could possibly carry (each page needs at
+	// least its 4-byte length header): a forged count from a malicious donor
+	// must not drive a giant allocation before the bounds checks below run.
+	capHint := uint32(len(blob)-4) / 4
+	if n < capHint {
+		capHint = n
+	}
+	pages := make([][]byte, 0, capHint)
 	for i := uint32(0); i < n; i++ {
 		if pos+4 > len(blob) {
 			return nil, errors.New("storageengine: truncated page list")
