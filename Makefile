@@ -146,11 +146,12 @@ benchjson:
 	$(GO) run ./cmd/ironsafe-bench -exp json -sf 0.005 -json BENCH_results.json
 
 # benchsmoke is the CI-sized slice: the JSON emitter must produce a valid
-# record at a tiny scale factor, and the batched scan path must stay
-# row-identical to the sequential one.
+# record at a tiny scale factor, the batched scan path must stay
+# row-identical to the sequential one, and the vectorized executor must stay
+# row-identical to — and strictly cheaper than — row-at-a-time execution.
 benchsmoke:
 	$(GO) run ./cmd/ironsafe-bench -exp json -sf 0.002 -queries 1,6 -json /tmp/bench_smoke.json
-	$(GO) test -count=1 -run 'BatchedMatchesSequential|CollectResults' ./internal/bench
+	$(GO) test -count=1 -run 'BatchedMatchesSequential|CollectResults|ExecBatch' ./internal/bench
 
 check: build vet lint test race-tier1 chaos-race crashsweep-race rebuildsweep-race graysweep-race ingestsweep-race adversarysweep-race
 

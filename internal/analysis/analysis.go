@@ -26,7 +26,7 @@
 //
 // where <check> is an analyzer name (wallclock, cryptorand, sealerr,
 // noncereuse, boundary, rawnet, journalbypass, readmit, lockcrypto,
-// plainflow, failopen, policypath, earlyack, directive). The rationale text is mandatory — the
+// plainflow, failopen, policypath, earlyack, rowloop, directive). The rationale text is mandatory — the
 // directive analyzer flags suppressions without one — and should say why
 // the invariant genuinely does not apply; directives are grep-able so
 // reviews can audit every escape hatch in one pass.

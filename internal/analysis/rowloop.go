@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Rowloop keeps the executor on the vectorized pipeline: inside
+// internal/sql/exec, scanning a relation one row at a time — a
+// `X.Scan(func(row) ...)` callback loop — is the slow path, paying one
+// virtual-dispatch and one accounting touch per tuple where the batched
+// pipeline pays them once per ~4096 rows. New operator code should consume
+// `ScanBatch` (or the shared row/batch bridges) instead. The sanctioned
+// row-at-a-time fallbacks (ExecBatchRows=1, relations without ScanBatch)
+// carry an //ironsafe:allow rowloop directive with a rationale; anything
+// else is flagged.
+var Rowloop = &Analyzer{
+	Name: "rowloop",
+	Doc:  "flag per-row Relation.Scan callback loops in the executor (use ScanBatch or annotate the sanctioned fallback)",
+	Run:  runRowloop,
+}
+
+func runRowloop(pass *Pass) error {
+	if !hasPrefixPath(pass.Path, "internal/sql/exec") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Scan" || len(call.Args) != 1 {
+				return true
+			}
+			if _, ok := call.Args[0].(*ast.FuncLit); !ok {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"row-at-a-time Relation.Scan loop in the executor; consume ScanBatch (batched pipeline) or annotate the sanctioned fallback with %s rowloop",
+				DirectivePrefix)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ironsafe/internal/analysis"
+	"ironsafe/internal/analysis/analysistest"
+)
+
+func TestRowloopScanLoops(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Rowloop, "internal/sql/exec/rowloop")
+}
+
+func TestRowloopAllowDirective(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Rowloop, "internal/sql/exec/rowloopallow")
+}
+
+// TestRowloopScopedToExec pins that the contract governs the executor only:
+// a Scan callback loop elsewhere is not an operator pipeline.
+func TestRowloopScopedToExec(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Rowloop, "rowloopout")
+}

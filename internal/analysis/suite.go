@@ -2,7 +2,7 @@ package analysis
 
 // Suite returns the full ironsafe-vet analyzer suite in stable order.
 func Suite() []*Analyzer {
-	return []*Analyzer{Wallclock, Cryptorand, Sealerr, Noncereuse, Boundary, Rawnet, Journalbypass, Readmit, Budgetless, Lockcrypto, Plainflow, Failopen, Policypath, Earlyack, Directive}
+	return []*Analyzer{Wallclock, Cryptorand, Sealerr, Noncereuse, Boundary, Rawnet, Journalbypass, Readmit, Budgetless, Lockcrypto, Plainflow, Failopen, Policypath, Earlyack, Rowloop, Directive}
 }
 
 // ByName resolves a comma-separated analyzer name list against the suite.

@@ -1,0 +1,20 @@
+// Package rowloopallow holds the sanctioned row-at-a-time fallback: a Scan
+// loop annotated with the allow directive and a rationale.
+package rowloopallow
+
+type row []int
+
+type relation interface {
+	Scan(fn func(row) error) error
+}
+
+// fallback is the row-mode pipeline, reachable only when batching is off.
+func fallback(rel relation) ([]row, error) {
+	var out []row
+	//ironsafe:allow rowloop -- ExecBatchRows=1 takes the row-at-a-time path by design
+	err := rel.Scan(func(r row) error {
+		out = append(out, r)
+		return nil
+	})
+	return out, err
+}

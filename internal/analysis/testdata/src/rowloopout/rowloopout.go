@@ -1,0 +1,19 @@
+// Package rowloopout sits outside internal/sql/exec: Scan callback loops
+// elsewhere (pager heaps, ingest, tests' fixtures) are not executor operators
+// and are not the rowloop analyzer's business.
+package rowloopout
+
+type row []int
+
+type relation interface {
+	Scan(fn func(row) error) error
+}
+
+func drain(rel relation) (int, error) {
+	n := 0
+	err := rel.Scan(func(r row) error {
+		n++
+		return nil
+	})
+	return n, err
+}

@@ -208,6 +208,7 @@ func breakdownFractions(qn int, model *simtime.CostModel, stats *ironsafe.QueryS
 		time.Duration(stats.Storage.RPMBReads+stats.Storage.RPMBWrites)*model.TEE.RPMBRead
 	dec := hostCost.Decrypt + storCost.Decrypt
 	other := model.PriceTEE(stats.Host) + model.PriceTEE(stats.Storage) - time.Duration(stats.Storage.RPMBReads+stats.Storage.RPMBWrites)*model.TEE.RPMBRead +
+		model.PriceBatchTransitions(stats.Host) + model.PriceBatchTransitions(stats.Storage) +
 		model.PriceLink(stats.Host.BytesSent+stats.Host.BytesReceived, int64(stats.Offloads*2))
 	total := ndp + fresh + dec + other
 	if total == 0 {
@@ -430,7 +431,7 @@ func Fig11(sf float64, queries []int, budgets []int64) ([]Fig11Row, error) {
 			}
 			// Offloaded portion only: the storage side cost.
 			storCost := model.PriceCPU(stats.Storage, model.Storage, 0)
-			storCost.TEE = model.PriceTEE(stats.Storage)
+			storCost.TEE = model.PriceTEE(stats.Storage) + model.PriceBatchTransitions(stats.Storage)
 			times[qn] = append(times[qn], storCost.Total())
 		}
 	}
@@ -520,7 +521,7 @@ func fig12Cumulative(data *tpch.Data, queries []int, n int) (time.Duration, erro
 	model := c.CostModel()
 	snap := c.StorageMeter.Snapshot()
 	cost := model.PriceCPU(snap, model.Storage, 1)
-	cost.TEE = model.PriceTEE(snap)
+	cost.TEE = model.PriceTEE(snap) + model.PriceBatchTransitions(snap)
 	return cost.Total(), nil
 }
 

@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"ironsafe"
+	"ironsafe/internal/tpch"
+)
+
+// TestExecBatchMatchesRowModeTPCH is the acceptance gate for the vectorized
+// executor: on the full evaluated TPC-H suite (plus q1) the default batched
+// pipeline must return rows byte-identical to row-at-a-time execution, with
+// identical data-work meters on both engines — the pipelines may differ only
+// in the Batches amortization counter, where vectorized must be strictly
+// cheaper overall.
+func TestExecBatchMatchesRowModeTPCH(t *testing.T) {
+	data := tpch.Generate(testSF)
+	vec, err := newCluster(ironsafe.IronSafe, data, nil) // default = vectorized
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := newCluster(ironsafe.IronSafe, data, func(cfg *ironsafe.Config) {
+		cfg.ExecBatchRows = 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := append([]int{1}, tpch.EvaluatedQueries...)
+	var vecBatches, rowBatches int64
+	for _, qn := range queries {
+		qrV, err := vec.NewSession(benchClient).Query(tpch.Queries[qn])
+		if err != nil {
+			t.Fatalf("q%d vectorized: %v", qn, err)
+		}
+		qrR, err := row.NewSession(benchClient).Query(tpch.Queries[qn])
+		if err != nil {
+			t.Fatalf("q%d row-mode: %v", qn, err)
+		}
+		if len(qrV.Result.Rows) != len(qrR.Result.Rows) {
+			t.Fatalf("q%d: vectorized %d rows, row-mode %d rows",
+				qn, len(qrV.Result.Rows), len(qrR.Result.Rows))
+		}
+		for i := range qrV.Result.Rows {
+			if !reflect.DeepEqual(qrV.Result.Rows[i], qrR.Result.Rows[i]) {
+				t.Fatalf("q%d row %d diverges:\n  vectorized: %v\n  row-mode:   %v",
+					qn, i, qrV.Result.Rows[i], qrR.Result.Rows[i])
+			}
+		}
+
+		// Meter equality modulo amortization: zero the Batches counters and
+		// every remaining counter — tuples touched, pages read, hashes
+		// verified, bytes shipped — must match exactly.
+		hv, hr := qrV.Stats.Host, qrR.Stats.Host
+		sv, sr := qrV.Stats.Storage, qrR.Stats.Storage
+		vecBatches += hv.Batches + sv.Batches
+		rowBatches += hr.Batches + sr.Batches
+		if hv.Batches > hr.Batches || sv.Batches > sr.Batches {
+			t.Errorf("q%d: vectorized dispatched MORE batches (host %d vs %d, storage %d vs %d)",
+				qn, hv.Batches, hr.Batches, sv.Batches, sr.Batches)
+		}
+		hv.Batches, hr.Batches = 0, 0
+		sv.Batches, sr.Batches = 0, 0
+		if hv != hr {
+			t.Errorf("q%d: host meters diverge:\n  vectorized: %+v\n  row-mode:   %+v", qn, hv, hr)
+		}
+		if sv != sr {
+			t.Errorf("q%d: storage meters diverge:\n  vectorized: %+v\n  row-mode:   %+v", qn, sv, sr)
+		}
+	}
+	if vecBatches >= rowBatches {
+		t.Errorf("vectorized batches = %d, want < row-mode %d (amortization is the point)",
+			vecBatches, rowBatches)
+	}
+}
+
+// TestExecBatchResultsGate pins the BENCH_results.json exec_batch section:
+// present, internally consistent, and showing the vectorized pipeline
+// strictly cheaper than row-at-a-time on the simulated cost model.
+func TestExecBatchResultsGate(t *testing.T) {
+	queries := []int{6, 14, 19}
+	res, err := CollectResults(testSF, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb := res.ExecBatch
+	if eb == nil {
+		t.Fatal("exec_batch section missing from results")
+	}
+	if eb.BatchRows <= 1 {
+		t.Errorf("batch_rows = %d, want > 1", eb.BatchRows)
+	}
+	if eb.VecGeomeanMicros <= 0 || eb.RowGeomeanMicros <= 0 {
+		t.Fatalf("geomeans: vec %v, row %v", eb.VecGeomeanMicros, eb.RowGeomeanMicros)
+	}
+	if eb.VecGeomeanMicros != res.GeomeanMicros["scs"] {
+		t.Errorf("vec geomean %v is not the scs series %v (scs must run vectorized by default)",
+			eb.VecGeomeanMicros, res.GeomeanMicros["scs"])
+	}
+	// The hard perf gate: batching must beat row-at-a-time by a real margin
+	// on the scan-heavy queries, not round to parity.
+	if eb.Speedup < 1.3 {
+		t.Errorf("vectorized speedup = %.3f, want >= 1.3", eb.Speedup)
+	}
+	for _, qn := range queries {
+		key := keyFor(qn)
+		v, r := eb.VecTimesMicros[key], eb.RowTimesMicros[key]
+		if v <= 0 || r <= 0 {
+			t.Errorf("%s: times vec=%v row=%v", key, v, r)
+		}
+		if v >= r {
+			t.Errorf("%s: vectorized (%vµs) not cheaper than row-mode (%vµs)", key, v, r)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ironsafe"
+	"ironsafe/internal/sql/exec"
 	"ironsafe/internal/tpch"
 )
 
@@ -37,6 +38,28 @@ type Results struct {
 	// Ingest is the streaming-ingest throughput series: acked-write rate,
 	// ack latency percentiles, and group-commit RPMB amortization.
 	Ingest *IngestResult `json:"ingest"`
+	// ExecBatch compares the vectorized operator pipeline (the default)
+	// against row-at-a-time execution (ExecBatchRows=1) under scs.
+	ExecBatch *ExecBatchResults `json:"exec_batch"`
+}
+
+// ExecBatchResults is the vectorized-executor comparison: the same scs
+// cluster and queries, run once with the default columnar batches and once
+// with the row-at-a-time pipeline. Rows are byte-identical by construction
+// (the differential test enforces it); only the amortization differs —
+// per-tuple operator dispatch and per-row enclave-boundary accounting versus
+// one charge per ~4096-row batch.
+type ExecBatchResults struct {
+	// BatchRows is the vectorized pipeline's batch size.
+	BatchRows int `json:"batch_rows"`
+	// VecGeomeanMicros / RowGeomeanMicros are the scs geometric-mean
+	// latencies under each pipeline; Speedup is row/vec.
+	VecGeomeanMicros float64 `json:"vec_geomean_micros"`
+	RowGeomeanMicros float64 `json:"row_geomean_micros"`
+	Speedup          float64 `json:"speedup"`
+	// VecTimesMicros / RowTimesMicros are the per-query latencies, keyed "q<N>".
+	VecTimesMicros map[string]float64 `json:"vec_times_micros"`
+	RowTimesMicros map[string]float64 `json:"row_times_micros"`
 }
 
 // TailClass is one query class's tail-latency record: exact nearest-rank
@@ -152,10 +175,56 @@ func CollectResults(sf float64, queries []int) (*Results, error) {
 			res.TailReadmissions = tail.Readmissions
 		}
 	}
+	eb, err := collectExecBatch(data, queries, res.TimesMicros[ironsafe.IronSafe.String()], res.GeomeanMicros[ironsafe.IronSafe.String()])
+	if err != nil {
+		return nil, fmt.Errorf("results exec_batch: %w", err)
+	}
+	res.ExecBatch = eb
+
 	ing, err := Ingest(4, 50)
 	if err != nil {
 		return nil, fmt.Errorf("results ingest: %w", err)
 	}
 	res.Ingest = ing
 	return res, nil
+}
+
+// collectExecBatch reruns the scs queries with the row-at-a-time executor
+// (ExecBatchRows=1) and pairs them with the vectorized series the main loop
+// already measured (the scs run uses the default batched pipeline).
+func collectExecBatch(data *tpch.Data, queries []int, vecTimes map[string]float64, vecGeomean float64) (*ExecBatchResults, error) {
+	c, err := newCluster(ironsafe.IronSafe, data, func(cfg *ironsafe.Config) {
+		cfg.ExecBatchRows = 1
+	})
+	if err != nil {
+		return nil, err
+	}
+	eb := &ExecBatchResults{
+		BatchRows:        exec.DefaultBatchRows,
+		VecGeomeanMicros: vecGeomean,
+		VecTimesMicros:   map[string]float64{},
+		RowTimesMicros:   map[string]float64{},
+	}
+	logSum, n := 0.0, 0
+	for _, qn := range queries {
+		key := jsonQueryKey(qn)
+		eb.VecTimesMicros[key] = vecTimes[key]
+		t, _, err := runQuery(c, tpch.Queries[qn])
+		if err != nil {
+			return nil, fmt.Errorf("row-mode q%d: %w", qn, err)
+		}
+		us := float64(t) / float64(time.Microsecond)
+		eb.RowTimesMicros[key] = us
+		if us > 0 {
+			logSum += math.Log(us)
+			n++
+		}
+	}
+	if n > 0 {
+		eb.RowGeomeanMicros = math.Exp(logSum / float64(n))
+	}
+	if eb.VecGeomeanMicros > 0 {
+		eb.Speedup = eb.RowGeomeanMicros / eb.VecGeomeanMicros
+	}
+	return eb, nil
 }

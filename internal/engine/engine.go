@@ -38,6 +38,16 @@ func (t *Table) Scan(fn func(schema.Row) error) error {
 	return t.heap.Scan(fn)
 }
 
+// ScanBatch implements exec.BatchRelation: rows stream out of the heap in
+// windows of batchRows, wrapped as columnar batches. The underlying window
+// slice is reused between callbacks (see pager.HeapFile.ScanRows), so
+// consumers must copy out any Row headers they retain.
+func (t *Table) ScanBatch(batchRows int, fn func(*exec.Batch) error) error {
+	return t.heap.ScanRows(batchRows, func(rows []schema.Row) error {
+		return fn(exec.NewBatch(t.Sch, rows))
+	})
+}
+
 // Count returns the table's row count.
 func (t *Table) Count() (int, error) { return t.heap.Count() }
 
@@ -49,9 +59,10 @@ type DB struct {
 	store pager.PageStore
 	meter *simtime.Meter
 
-	mu      sync.RWMutex
-	tables  map[string]*Table
-	scanCfg pager.ScanConfig
+	mu        sync.RWMutex
+	tables    map[string]*Table
+	scanCfg   pager.ScanConfig
+	execBatch int // executor batch size (0 = exec.DefaultBatchRows, 1 = row-at-a-time)
 
 	// execMu serializes writers against readers: SELECTs run concurrently,
 	// DDL/DML take the write lock (SQLite-style multi-reader/one-writer).
@@ -147,6 +158,14 @@ func (db *DB) SetScanConfig(cfg pager.ScanConfig) {
 	for _, t := range db.tables {
 		t.heap.SetScanConfig(cfg)
 	}
+}
+
+// SetExecBatchRows sets the executor batch size for subsequent SELECTs:
+// 0 restores exec.DefaultBatchRows, 1 forces the row-at-a-time pipeline.
+func (db *DB) SetExecBatchRows(n int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.execBatch = n
 }
 
 // catalogPagesMax bounds how many catalog pages fit in the root page.
@@ -261,7 +280,10 @@ func (db *DB) ExecuteStmt(stmt ast.Statement) (*exec.Result, error) {
 	case *ast.Select:
 		db.execMu.RLock()
 		defer db.execMu.RUnlock()
-		return exec.Run(s, db, db.meter)
+		db.mu.RLock()
+		batch := db.execBatch
+		db.mu.RUnlock()
+		return exec.RunBatched(s, db, db.meter, batch)
 	case *ast.CreateTable:
 		db.execMu.Lock()
 		defer db.execMu.Unlock()

@@ -38,6 +38,9 @@ type Config struct {
 	EPCLimitBytes int64
 	// Meter receives the host's work counters. Required.
 	Meter *simtime.Meter
+	// ExecBatchRows is the executor batch size for the host phase
+	// (0 = exec.DefaultBatchRows, 1 = row-at-a-time).
+	ExecBatchRows int
 }
 
 // Host is one host engine instance.
@@ -555,7 +558,7 @@ func (h *Host) runHostPhase(split *partition.Split, cat shippedCatalog) (*exec.R
 	var res *exec.Result
 	run := func() error {
 		var err error
-		res, err = exec.Run(split.Host, cat, h.cfg.Meter)
+		res, err = exec.RunBatched(split.Host, cat, h.cfg.Meter, h.cfg.ExecBatchRows)
 		return err
 	}
 	var err error

@@ -214,6 +214,34 @@ func (h *HeapFile) Scan(fn func(schema.Row) error) error {
 	return nil
 }
 
+// ScanRows delivers the heap's rows in windows of at most batchRows rows,
+// layered over Scan so the device-operation order (and thus every
+// deterministic fault/adversary stream keyed on it) is identical whichever
+// entry point drives a table scan. The window slice is reused between
+// callbacks: consumers that retain rows must copy them out (copying the
+// schema.Row headers is enough — row backing arrays are never reused).
+func (h *HeapFile) ScanRows(batchRows int, fn func([]schema.Row) error) error {
+	if batchRows <= 0 {
+		batchRows = 1
+	}
+	win := make([]schema.Row, 0, batchRows)
+	if err := h.Scan(func(r schema.Row) error {
+		win = append(win, r)
+		if len(win) == batchRows {
+			err := fn(win)
+			win = win[:0]
+			return err
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if len(win) > 0 {
+		return fn(win)
+	}
+	return nil
+}
+
 // scanPage decodes one fetched page and feeds its rows to fn. It returns
 // ErrStopScan unchanged so callers can distinguish early stop from failure.
 func (h *HeapFile) scanPage(idx uint32, buf []byte, fn func(schema.Row) error) error {

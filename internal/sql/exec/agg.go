@@ -64,6 +64,13 @@ func (a *accumulator) add(c *evalCtx, row schema.Row) error {
 	if err != nil {
 		return err
 	}
+	return a.addValue(v)
+}
+
+// addValue folds one already-evaluated argument value — the vectorized
+// aggregation path extracts the argument column per batch and feeds elements
+// here, so both paths share the accumulation (and its summation order).
+func (a *accumulator) addValue(v value.Value) error {
 	if v.IsNull() {
 		return nil // aggregates ignore NULL inputs
 	}
@@ -138,35 +145,107 @@ func (b *builder) aggregate(in *Result, groupBy []ast.Expr, specs []aggSpec, env
 	groups := map[string]*group{}
 	var order []string // deterministic group order (first appearance)
 
-	for _, row := range in.Rows {
-		rc := ctx.withRow(row)
-		keyVals := make([]value.Value, len(groupBy))
-		keyStr := ""
-		for i, ge := range groupBy {
-			v, err := rc.eval(ge)
-			if err != nil {
-				return nil, nil, err
-			}
-			keyVals[i] = v
-			keyStr += v.HashKey() + "\x00"
-		}
-		g, ok := groups[keyStr]
-		if !ok {
-			g = &group{keyVals: keyVals, repRow: row}
-			g.accs = make([]*accumulator, len(specs))
-			for i, s := range specs {
-				g.accs[i] = newAccumulator(s.call)
-			}
-			groups[keyStr] = g
-			order = append(order, keyStr)
-		}
-		for _, acc := range g.accs {
-			if err := acc.add(ctx, row); err != nil {
-				return nil, nil, err
+	vecOK := b.vec() && supportsVecAll(groupBy)
+	if vecOK {
+		for _, s := range specs {
+			if !s.call.Star && (len(s.call.Args) != 1 || !supportsVec(s.call.Args[0])) {
+				vecOK = false
+				break
 			}
 		}
 	}
-	b.charge(int64(len(in.Rows)))
+	if vecOK {
+		// Vectorized grouping: group keys and aggregate arguments are
+		// extracted column-wise per batch, then rows probe the group table
+		// in order (first appearance still fixes the output order, and the
+		// sequential fold preserves float summation order).
+		for off := 0; off < len(in.Rows); off += b.batchRows {
+			end := off + b.batchRows
+			if end > len(in.Rows) {
+				end = len(in.Rows)
+			}
+			bt := NewBatch(in.Sch, in.Rows[off:end])
+			sel := fullSel(bt.Len())
+			keyCols := make([]*schema.ColVec, len(groupBy))
+			for i, ge := range groupBy {
+				cv, err := ctx.evalVec(ge, bt, sel)
+				if err != nil {
+					return nil, nil, err
+				}
+				keyCols[i] = cv
+			}
+			argCols := make([]*schema.ColVec, len(specs))
+			for i, s := range specs {
+				if s.call.Star {
+					continue
+				}
+				cv, err := ctx.evalVec(s.call.Args[0], bt, sel)
+				if err != nil {
+					return nil, nil, err
+				}
+				argCols[i] = cv
+			}
+			for j := 0; j < bt.Len(); j++ {
+				keyVals := make([]value.Value, len(groupBy))
+				keyStr := ""
+				for i := range groupBy {
+					v := keyCols[i].Value(j)
+					keyVals[i] = v
+					keyStr += v.HashKey() + "\x00"
+				}
+				g, ok := groups[keyStr]
+				if !ok {
+					g = &group{keyVals: keyVals, repRow: bt.Rows[j]}
+					g.accs = make([]*accumulator, len(specs))
+					for i, s := range specs {
+						g.accs[i] = newAccumulator(s.call)
+					}
+					groups[keyStr] = g
+					order = append(order, keyStr)
+				}
+				for si, acc := range g.accs {
+					if acc.call.Star {
+						acc.count++
+						continue
+					}
+					if err := acc.addValue(argCols[si].Value(j)); err != nil {
+						return nil, nil, err
+					}
+				}
+			}
+			b.chargeBatch(int64(bt.Len()))
+		}
+	} else {
+		for _, row := range in.Rows {
+			rc := ctx.withRow(row)
+			keyVals := make([]value.Value, len(groupBy))
+			keyStr := ""
+			for i, ge := range groupBy {
+				v, err := rc.eval(ge)
+				if err != nil {
+					return nil, nil, err
+				}
+				keyVals[i] = v
+				keyStr += v.HashKey() + "\x00"
+			}
+			g, ok := groups[keyStr]
+			if !ok {
+				g = &group{keyVals: keyVals, repRow: row}
+				g.accs = make([]*accumulator, len(specs))
+				for i, s := range specs {
+					g.accs[i] = newAccumulator(s.call)
+				}
+				groups[keyStr] = g
+				order = append(order, keyStr)
+			}
+			for _, acc := range g.accs {
+				if err := acc.add(ctx, row); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		b.chargeRows(int64(len(in.Rows)))
+	}
 
 	// Global aggregation over zero rows still yields one group.
 	if len(groupBy) == 0 && len(groups) == 0 {

@@ -3,8 +3,13 @@
 // by both the host engine and the storage engine: scans, filters, hash and
 // nested-loop joins (inner and left outer), hash aggregation with the SQL
 // aggregate functions, sorting, limiting, and decorrelated subquery
-// evaluation. Work is charged to a simtime.Meter so split executions can be
-// priced by the cost model.
+// evaluation. Hot operators (scan, filter, projection, hash join, hash
+// aggregation) run vectorized over columnar batches (vector.go); the long
+// tail (correlated subqueries, expressions the vectorizer rejects) falls
+// back to row-at-a-time evaluation behind the same interfaces. Work is
+// charged to a simtime.Meter so split executions can be priced by the cost
+// model — one dispatch charge per batch in vectorized mode, one per row in
+// fallback mode.
 package exec
 
 import (
@@ -21,9 +26,48 @@ type Relation interface {
 	Scan(fn func(schema.Row) error) error
 }
 
+// BatchRelation is a Relation that can also deliver its rows in columnar
+// batches of at most batchRows rows. Batches passed to fn are only valid for
+// the duration of the callback; consumers that retain rows must copy them
+// out (appending the schema.Row headers is sufficient — row backing arrays
+// are never reused).
+type BatchRelation interface {
+	Relation
+	ScanBatch(batchRows int, fn func(*Batch) error) error
+}
+
 // Catalog resolves base-table names to relations.
 type Catalog interface {
 	Relation(name string) (Relation, error)
+}
+
+// scanRows is the single rows→callback bridge shared by every materialized
+// relation's Scan method.
+func scanRows(rows []schema.Row, fn func(schema.Row) error) error {
+	for _, row := range rows {
+		if err := fn(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scanRowBatches is the single rows→batch bridge shared by every
+// materialized relation's ScanBatch method.
+func scanRowBatches(sch *schema.Schema, rows []schema.Row, batchRows int, fn func(*Batch) error) error {
+	if batchRows <= 0 {
+		batchRows = DefaultBatchRows
+	}
+	for off := 0; off < len(rows); off += batchRows {
+		end := off + batchRows
+		if end > len(rows) {
+			end = len(rows)
+		}
+		if err := fn(NewBatch(sch, rows[off:end])); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Result is a fully materialized intermediate or final result.
@@ -37,12 +81,12 @@ func (r *Result) Schema() *schema.Schema { return r.Sch }
 
 // Scan implements Relation.
 func (r *Result) Scan(fn func(schema.Row) error) error {
-	for _, row := range r.Rows {
-		if err := fn(row); err != nil {
-			return err
-		}
-	}
-	return nil
+	return scanRows(r.Rows, fn)
+}
+
+// ScanBatch implements BatchRelation.
+func (r *Result) ScanBatch(batchRows int, fn func(*Batch) error) error {
+	return scanRowBatches(r.Sch, r.Rows, batchRows, fn)
 }
 
 // MemRelation is an in-memory named relation (host-side temp tables).
@@ -56,26 +100,44 @@ func (m *MemRelation) Schema() *schema.Schema { return m.Sch }
 
 // Scan implements Relation.
 func (m *MemRelation) Scan(fn func(schema.Row) error) error {
-	for _, row := range m.Rows {
-		if err := fn(row); err != nil {
-			return err
-		}
-	}
-	return nil
+	return scanRows(m.Rows, fn)
 }
 
+// ScanBatch implements BatchRelation.
+func (m *MemRelation) ScanBatch(batchRows int, fn func(*Batch) error) error {
+	return scanRowBatches(m.Sch, m.Rows, batchRows, fn)
+}
+
+// DefaultBatchRows is the operator batch size when none is configured:
+// large enough to amortize dispatch, small enough to stay cache- and
+// EPC-resident.
+const DefaultBatchRows = 4096
+
 // Run plans and executes sel against cat, charging work to meter (which may
-// be nil).
+// be nil), with the default vectorized batch size.
 func Run(sel *ast.Select, cat Catalog, meter *simtime.Meter) (*Result, error) {
-	b := &builder{cat: cat, meter: meter}
+	return RunBatched(sel, cat, meter, 0)
+}
+
+// RunBatched is Run with an explicit operator batch size: 0 means
+// DefaultBatchRows, 1 forces the row-at-a-time path everywhere.
+func RunBatched(sel *ast.Select, cat Catalog, meter *simtime.Meter, batchRows int) (*Result, error) {
+	b := &builder{cat: cat, meter: meter, batchRows: normBatchRows(batchRows)}
 	return b.buildSelect(sel, nil)
 }
 
 // RunWithEnv executes sel with an outer binding environment (used for
 // fallback correlated-subquery evaluation).
 func RunWithEnv(sel *ast.Select, cat Catalog, meter *simtime.Meter, env *Env) (*Result, error) {
-	b := &builder{cat: cat, meter: meter}
+	b := &builder{cat: cat, meter: meter, batchRows: DefaultBatchRows}
 	return b.buildSelect(sel, env)
+}
+
+func normBatchRows(n int) int {
+	if n <= 0 {
+		return DefaultBatchRows
+	}
+	return n
 }
 
 // Env is a chain of outer-row bindings for correlated subqueries.
@@ -105,19 +167,46 @@ func (e *Env) Resolvable(name string) bool {
 }
 
 type builder struct {
-	cat   Catalog
-	meter *simtime.Meter
-	trace *Trace
+	cat       Catalog
+	meter     *simtime.Meter
+	trace     *Trace
+	batchRows int
 }
 
-func (b *builder) charge(n int64) {
+// vec reports whether operators should take their vectorized paths.
+func (b *builder) vec() bool { return b.batchRows > 1 }
+
+// chargeTuples records n tuples of data work with no dispatch component.
+func (b *builder) chargeTuples(n int64) {
 	if b.meter != nil && n > 0 {
 		b.meter.TupleWork.Add(n)
 		b.meter.TuplesProcessed.Add(n)
 	}
 }
 
-// chargeWork adds weighted work units without counting tuples again.
+// dispatch records n operator dispatches (batch boundaries).
+func (b *builder) dispatch(n int64) {
+	if b.meter != nil && n > 0 {
+		b.meter.Batches.Add(n)
+	}
+}
+
+// chargeBatch records one vectorized dispatch covering n tuples: one
+// TupleWork.Add, one TuplesProcessed.Add, one Batches increment.
+func (b *builder) chargeBatch(n int64) {
+	b.chargeTuples(n)
+	b.dispatch(1)
+}
+
+// chargeRows records n row-at-a-time dispatches covering n tuples — the
+// fallback path pays one dispatch per row, still coalesced into single
+// atomic adds per operator.
+func (b *builder) chargeRows(n int64) {
+	b.chargeTuples(n)
+	b.dispatch(n)
+}
+
+// chargeWork adds weighted work units without counting tuples or dispatches.
 func (b *builder) chargeWork(n int64) {
 	if b.meter != nil && n > 0 {
 		b.meter.TupleWork.Add(n)

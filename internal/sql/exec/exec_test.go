@@ -482,8 +482,28 @@ func TestMeterCharged(t *testing.T) {
 	if _, err := Run(sel, testCatalog(), &m); err != nil {
 		t.Fatal(err)
 	}
-	if m.Snapshot().TupleWork == 0 {
+	vec := m.Snapshot()
+	if vec.TupleWork == 0 {
 		t.Error("no tuple work charged")
+	}
+	if vec.Batches == 0 {
+		t.Error("no operator batches charged (vectorized pipeline is the default)")
+	}
+
+	// Row-at-a-time mode dispatches once per row, so it must record strictly
+	// more batches for the same query — and exactly the same data work: the
+	// pipelines differ only in amortization, never in tuples touched.
+	var mr simtime.Meter
+	if _, err := RunBatched(sel, testCatalog(), &mr, 1); err != nil {
+		t.Fatal(err)
+	}
+	row := mr.Snapshot()
+	if row.Batches <= vec.Batches {
+		t.Errorf("row-mode batches = %d, want > vectorized %d", row.Batches, vec.Batches)
+	}
+	if row.TupleWork != vec.TupleWork || row.TuplesProcessed != vec.TuplesProcessed {
+		t.Errorf("data work diverges: row (work=%d, tuples=%d) vs vec (work=%d, tuples=%d)",
+			row.TupleWork, row.TuplesProcessed, vec.TupleWork, vec.TuplesProcessed)
 	}
 }
 

@@ -151,7 +151,8 @@ func (b *builder) prepareSub(sel *ast.Select, outerSch *schema.Schema, env *Env)
 		}
 		se.groups[key] = append(se.groups[key], row)
 	}
-	b.charge(int64(len(inner.Rows)))
+	// Correlated-subquery group building stays row-at-a-time in both modes.
+	b.chargeRows(int64(len(inner.Rows)))
 	b.trace.addf("subquery: decorrelated on %d key(s) [%s], %d inner rows in %d groups, residual=%v",
 		len(se.keysInner), exprsText(se.keysInner), len(inner.Rows), len(se.groups), se.residual != nil)
 	se.outerEnv = &Env{Parent: env, Sch: outerSch}

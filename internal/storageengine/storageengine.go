@@ -56,6 +56,9 @@ type Config struct {
 	// for every heap on this node; the zero value keeps the sequential
 	// per-page path.
 	ScanConfig pager.ScanConfig
+	// ExecBatchRows is the executor batch size for offloaded query phases
+	// (0 = exec.DefaultBatchRows, 1 = row-at-a-time).
+	ExecBatchRows int
 	// MediumWrapper, when set, wraps the node's raw medium before the page
 	// store opens over it — the chaos and crash-sweep harnesses hook fault
 	// injectors in here. The wrapped device is reused across Restart, so an
@@ -161,6 +164,7 @@ func (s *Server) openStore() error {
 		return err
 	}
 	db.SetScanConfig(s.cfg.ScanConfig)
+	db.SetExecBatchRows(s.cfg.ExecBatchRows)
 	// Publish the swap atomically: a concurrent reader (integrity sweep,
 	// offload) sees either the old consistent pair or the new one.
 	s.mu.Lock()

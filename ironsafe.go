@@ -107,6 +107,10 @@ type Config struct {
 	// hold ahead of row processing; 0 means 2, negative disables read-ahead
 	// (batches fetch synchronously).
 	ScanPrefetchBatches int
+	// ExecBatchRows is the executor batch size on both engines: operators
+	// exchange columnar batches of up to this many rows. 0 means the default
+	// (exec.DefaultBatchRows, 4096); 1 restores the row-at-a-time pipeline.
+	ExecBatchRows int
 	// PlainCacheBytes caps the secure store's verified-plaintext page cache;
 	// 0 disables it. On hos the cache lives inside the enclave and counts
 	// toward the EPC working set.
@@ -274,6 +278,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			Meter:         c.StorageMeter,
 			MediumWrapper: cfg.StorageDeviceWrapper,
 			ScanConfig:    cfg.scanConfig(),
+			ExecBatchRows: cfg.ExecBatchRows,
 		})
 		if err != nil {
 			return nil, err
@@ -292,6 +297,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		Platform: platform, Secure: hostSecure,
 		EPCLimitBytes: cfg.EPCLimitBytes,
 		Meter:         c.HostMeter,
+		ExecBatchRows: cfg.ExecBatchRows,
 	})
 	if err != nil {
 		return nil, err
@@ -397,6 +403,7 @@ func (c *Cluster) initHostDB() error {
 		return err
 	}
 	db.SetScanConfig(c.cfg.scanConfig())
+	db.SetExecBatchRows(c.cfg.ExecBatchRows)
 	c.hostDB = db
 	return nil
 }

@@ -232,6 +232,15 @@ func (c *Cluster) PriceQuery(host, storage simtime.Snapshot, offloads int) simti
 	q.Host.TEE = m.PriceTEE(host)
 	q.Storage = m.PriceCPU(storage, m.Storage, cores)
 	q.Storage.TEE = m.PriceTEE(storage)
+	// Operator-batch boundaries cost enclave working-set shuffling only on
+	// the sides that actually run inside a TEE; non-secure modes dispatch
+	// batches for free beyond the CPU-side BatchDispatch term.
+	if c.cfg.Mode == HostOnlySecure || c.cfg.Mode == IronSafe {
+		q.Host.TEE += m.PriceBatchTransitions(host)
+	}
+	if c.cfg.Mode == IronSafe || c.cfg.Mode == StorageOnlySecure {
+		q.Storage.TEE += m.PriceBatchTransitions(storage)
+	}
 	messages := int64(offloads * 2)
 	q.Transfer = m.PriceLink(host.BytesSent+host.BytesReceived, messages)
 	return q
